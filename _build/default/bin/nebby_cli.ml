@@ -1,0 +1,132 @@
+(* Command-line front end: measure simulated servers, dump BiF traces, run
+   mini censuses — the wget/quiche/tcpdump glue of the original tool. *)
+
+open Cmdliner
+
+let proto_of_string = function
+  | "quic" -> Netsim.Packet.Quic
+  | "tcp" -> Netsim.Packet.Tcp
+  | other -> invalid_arg ("unknown protocol: " ^ other)
+
+let noise_of_string = function
+  | "quiet" -> Netsim.Path.quiet
+  | "mild" -> Netsim.Path.mild
+  | "heavy" -> Netsim.Path.heavy
+  | other -> invalid_arg ("unknown noise level: " ^ other)
+
+let cca_arg =
+  let doc = "Target server's CCA (a registry name, e.g. cubic, bbr, akamai_cc)." in
+  Arg.(value & opt string "cubic" & info [ "cca" ] ~docv:"CCA" ~doc)
+
+let proto_arg =
+  let doc = "Transport: tcp or quic." in
+  Arg.(value & opt string "tcp" & info [ "proto" ] ~docv:"PROTO" ~doc)
+
+let noise_arg =
+  let doc = "Wide-area noise: quiet, mild, or heavy." in
+  Arg.(value & opt string "mild" & info [ "noise" ] ~docv:"NOISE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_arg =
+  let doc = "Training runs per CCA (more runs, tighter clusters, slower start)." in
+  Arg.(value & opt int 10 & info [ "training-runs" ] ~docv:"N" ~doc)
+
+let train runs = Nebby.Training.train ~runs_per_cca:runs ()
+
+let measure_cmd =
+  let run cca proto noise seed runs =
+    let control = train runs in
+    let plugins = Nebby.Classifier.extended_plugins control in
+    let report =
+      Nebby.Measurement.measure ~control ~plugins ~proto:(proto_of_string proto)
+        ~noise:(noise_of_string noise) ~seed ~make_cca:(Cca.Registry.create cca) ()
+    in
+    Printf.printf "target CCA : %s\n" cca;
+    Printf.printf "classified : %s (after %d attempt%s)\n" report.Nebby.Measurement.label
+      report.attempts
+      (if report.attempts = 1 then "" else "s");
+    List.iter (fun (p, l) -> Printf.printf "  profile %-16s -> %s\n" p l) report.per_profile
+  in
+  let doc = "Measure a simulated server and classify its CCA." in
+  Cmd.v (Cmd.info "measure" ~doc)
+    Term.(const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg)
+
+let trace_cmd =
+  let run cca proto noise seed =
+    let profile = Nebby.Profile.delay_50ms in
+    let result =
+      Nebby.Testbed.run ~seed ~noise:(noise_of_string noise) ~proto:(proto_of_string proto)
+        ~profile ~make_cca:(Cca.Registry.create cca) ()
+    in
+    Printf.printf "# time_s,bif_bytes (CCA %s, profile %s)\n" cca profile.Nebby.Profile.name;
+    List.iter
+      (fun (t, v) -> Printf.printf "%.4f,%.0f\n" t v)
+      (Nebby.Bif.estimate result.Nebby.Testbed.trace)
+  in
+  let doc = "Capture one measurement and print the BiF trace as CSV." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg)
+
+let census_cmd =
+  let sites_arg =
+    Arg.(value & opt int 100 & info [ "sites" ] ~docv:"N" ~doc:"Number of websites to measure.")
+  in
+  let region_arg =
+    Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
+  in
+  let run sites region proto seed runs =
+    let control = train runs in
+    let region =
+      match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
+      | Some r -> r
+      | None -> invalid_arg ("unknown region: " ^ region)
+    in
+    let websites = Internet.Population.generate ~n:sites ~seed () in
+    let tally =
+      Internet.Census.run ~control ~proto:(proto_of_string proto) ~region websites
+    in
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+    Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
+    List.iter
+      (fun (label, n) ->
+        Printf.printf "%-14s %8d %7.1f%%\n" label n
+          (100.0 *. float_of_int n /. float_of_int total))
+      tally
+  in
+  let doc = "Run a mini census over the synthetic website population." in
+  Cmd.v (Cmd.info "census" ~doc)
+    Term.(const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg)
+
+let accuracy_cmd =
+  let trials_arg =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc:"Trials per CCA.")
+  in
+  let run trials runs =
+    let control = train runs in
+    let plugins = Nebby.Classifier.extended_plugins control in
+    let total_ok = ref 0 and total = ref 0 in
+    List.iter
+      (fun name ->
+        let ok = ref 0 in
+        for i = 0 to trials - 1 do
+          let r =
+            Nebby.Measurement.measure_cca ~control ~plugins ~seed:(1000 + (i * 101)) name
+          in
+          if r.Nebby.Measurement.label = name then incr ok
+        done;
+        total_ok := !total_ok + !ok;
+        total := !total + trials;
+        Printf.printf "%-10s %d/%d\n%!" name !ok trials)
+      (Cca.Registry.kernel_ccas @ [ "bbr2" ]);
+    Printf.printf "average accuracy: %.1f%%\n"
+      (100.0 *. float_of_int !total_ok /. float_of_int !total)
+  in
+  let doc = "Evaluate classification accuracy over the kernel CCAs (Table 3)." in
+  Cmd.v (Cmd.info "accuracy" ~doc) Term.(const run $ trials_arg $ runs_arg)
+
+let () =
+  let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in
+  let info = Cmd.info "nebby" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd ]))

@@ -1,0 +1,1 @@
+examples/browser_streaming.mli:

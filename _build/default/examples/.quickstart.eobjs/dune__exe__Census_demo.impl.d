@@ -1,0 +1,1 @@
+examples/census_demo.ml: Internet List Nebby Netsim Printf

@@ -1,0 +1,1 @@
+examples/extend_classifier.ml: Cca List Nebby Netsim Printf

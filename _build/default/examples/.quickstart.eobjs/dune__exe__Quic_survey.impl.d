@@ -1,0 +1,1 @@
+examples/quic_survey.ml: Internet List Nebby Netsim Printf

@@ -1,0 +1,1 @@
+examples/quic_survey.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cca List Nebby Netsim Printf

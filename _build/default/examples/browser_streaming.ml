@@ -1,0 +1,36 @@
+(* Browser measurements (§3.5, §4.5): streaming services open several
+   concurrent connections serving different asset types, and commonly use
+   different CCAs for video than for static content. With per-flow
+   bottleneck queues Nebby classifies each flow separately; with the
+   default shared bottleneck we can also watch a CUBIC ad flow degrade a
+   BBR video flow (the appletv.com observation). *)
+
+let () =
+  let control = Nebby.Training.default () in
+  let services =
+    List.filter
+      (fun s ->
+        List.mem s.Internet.Heavy_hitters.service [ "Netflix"; "AppleTV"; "Twitch"; "Hulu" ])
+      Internet.Heavy_hitters.table8
+  in
+  List.iter
+    (fun svc ->
+      let flows = Internet.Browser.measure_service ~control ~seed:31 svc in
+      Printf.printf "%-8s" svc.Internet.Heavy_hitters.service;
+      List.iter
+        (fun (f : Internet.Browser.flow_report) ->
+          Printf.printf "  %s: %s (truth %s)"
+            (match f.asset with Internet.Browser.Video -> "video" | Static -> "static")
+            f.label f.truth)
+        flows;
+      print_newline ())
+    services;
+  (* the inter-flow interaction: a CUBIC flow joins a long-running BBR flow *)
+  let c =
+    Internet.Browser.shared_bottleneck ~profile:Nebby.Profile.delay_50ms ~seed:9 ~cca_a:"bbr"
+      ~cca_b:"cubic" ()
+  in
+  Printf.printf
+    "shared bottleneck: %s gets %.1f kB/s, %s gets %.1f kB/s (fair share %.1f kB/s)\n"
+    c.flow_a (c.throughput_a /. 1000.0) c.flow_b (c.throughput_b /. 1000.0)
+    (c.fair_share /. 1000.0)

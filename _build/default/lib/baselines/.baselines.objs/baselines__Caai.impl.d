@@ -1,0 +1,1 @@
+lib/baselines/caai.ml: Cca List Netsim Transport

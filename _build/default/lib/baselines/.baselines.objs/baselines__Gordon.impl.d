@@ -1,0 +1,1 @@
+lib/baselines/gordon.ml: Cca Float Hashtbl Internet Lazy List Nebby Netsim Option

@@ -1,0 +1,1 @@
+lib/baselines/gordon.mli: Internet Nebby

@@ -1,0 +1,1 @@
+lib/baselines/tool_properties.mli:

@@ -1,0 +1,98 @@
+type result = {
+  cca : string;
+  cwnd_estimates : float list;
+  true_cwnd_mean : float;
+  burst_ratio : float;
+}
+
+(* A client that holds ACKs for [batch_delay] and releases them at once;
+   after each release, the bytes arriving within half an RTT form the
+   burst CAAI reads the cwnd from. *)
+let measure ?(seed = 5) ?(batch_delay = 1.0) cca_name =
+  let sim = Netsim.Sim.create () in
+  let rng = Netsim.Rng.create seed in
+  let params = Cca.default_params in
+  let cca = Cca.Registry.create cca_name params in
+  let base_delay = 0.01 in
+  let rtt = 0.12 in
+  let sender_ref = ref None in
+  let pending_acks = ref [] in
+  let bursts = ref [] and current_burst = ref 0 and burst_deadline = ref neg_infinity in
+  let awaiting_burst = ref false in
+  let cwnd_samples = ref [] in
+  let path_up =
+    Netsim.Path.create sim rng ~delay:base_delay ~noise:Netsim.Path.quiet
+      ~sink:(fun pkt ->
+        match !sender_ref with Some s -> Transport.Sender.handle_ack s pkt | None -> ())
+  in
+  (* release batched acks every batch_delay *)
+  let rec release () =
+    (match List.rev !pending_acks with
+    | [] -> ()
+    | acks ->
+      pending_acks := [];
+      (* only the highest cumulative ack matters; send it and open the
+         burst-measurement window *)
+      let last = List.nth acks (List.length acks - 1) in
+      Netsim.Path.send path_up last;
+      cwnd_samples := cca.Cca.cwnd () :: !cwnd_samples;
+      current_burst := 0;
+      (* the burst window opens when the first response packet arrives *)
+      awaiting_burst := true);
+    Netsim.Sim.after sim batch_delay release
+  in
+  let receiver =
+    Transport.Receiver.create sim ~proto:Netsim.Packet.Tcp
+      ~out:(fun pkt -> pending_acks := pkt :: !pending_acks)
+      ()
+  in
+  let link =
+    (* a wide bottleneck: CAAI does not shape, it only delays acks *)
+    Netsim.Link.create sim ~rate:2_000_000.0 ~buffer_bytes:4_000_000
+      ~sink:(fun pkt ->
+        if !awaiting_burst then begin
+          awaiting_burst := false;
+          (* an ACK-clocked sender dumps its window at line rate; a paced
+             one spreads it over an RTT — the immediate burst is the cwnd *)
+          burst_deadline := Netsim.Sim.now sim +. (rtt /. 2.0)
+        end;
+        if Netsim.Sim.now sim <= !burst_deadline then begin
+          current_burst := !current_burst + pkt.Netsim.Packet.payload;
+          (* keep updating: the burst is whatever arrived before the next batch *)
+          bursts :=
+            (match !bursts with
+            | _ :: rest when !current_burst > pkt.Netsim.Packet.payload ->
+              float_of_int !current_burst :: rest
+            | l -> float_of_int !current_burst :: l)
+        end;
+        Transport.Receiver.handle_data receiver pkt)
+      ()
+  in
+  let path_down =
+    Netsim.Path.create sim (Netsim.Rng.create (seed + 1)) ~delay:(rtt /. 2.0)
+      ~noise:Netsim.Path.quiet
+      ~sink:(fun pkt -> Netsim.Link.send link pkt)
+  in
+  let sender =
+    Transport.Sender.create sim ~cca ~proto:Netsim.Packet.Tcp ~params ~total_bytes:2_000_000
+      ~out:(fun pkt -> Netsim.Path.send path_down pkt)
+  in
+  sender_ref := Some sender;
+  Transport.Sender.start sender;
+  Netsim.Sim.after sim batch_delay release;
+  Netsim.Sim.run ~until:30.0 sim;
+  let estimates = List.rev !bursts in
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let true_mean = mean !cwnd_samples in
+  {
+    cca = cca_name;
+    cwnd_estimates = estimates;
+    true_cwnd_mean = true_mean;
+    burst_ratio = (if true_mean > 0.0 then mean estimates /. true_mean else 0.0);
+  }
+
+let ack_clocked ?seed cca_name = (measure ?seed cca_name).burst_ratio >= 0.6

@@ -1,0 +1,25 @@
+(** A reimplementation of CAAI's measurement primitive (Yang et al. 2011,
+    §2 of the paper): the client delays and batches acknowledgements, and
+    because window-based CCAs are ACK-clocked, the size of the data burst
+    released by each batched ACK reveals the congestion window.
+
+    The paper's point (§2.1) is that this stops working for rate-based
+    CCAs: a paced sender spreads its window over the RTT regardless of when
+    ACKs arrive, so the burst no longer measures the cwnd. [burst_ratio]
+    quantifies exactly that — close to 1 for NewReno/CUBIC, far below 1
+    for BBR. *)
+
+type result = {
+  cca : string;
+  cwnd_estimates : float list;  (** per-batch burst sizes, bytes *)
+  true_cwnd_mean : float;
+  burst_ratio : float;  (** mean estimate / mean true cwnd *)
+}
+
+val measure : ?seed:int -> ?batch_delay:float -> string -> result
+(** [measure cca_name] runs the delayed-ACK experiment against a server
+    running [cca_name]. [batch_delay] defaults to 1 s, CAAI's setting. *)
+
+val ack_clocked : ?seed:int -> string -> bool
+(** Whether the delayed-ACK technique can measure this CCA
+    ([burst_ratio >= 0.6]). *)

@@ -1,0 +1,81 @@
+type outcome = Identified of string | Unknown | Short_flow | Unresponsive
+
+(* Gordon's metric: the cwnd counted once per RTT (upper envelope of the
+   unacknowledged packets between its forced drops). *)
+let cwnd_style ~rtt pts =
+  let rec bucket acc current_t current_max = function
+    | [] -> List.rev (if current_max > 0.0 then (current_t, current_max) :: acc else acc)
+    | (t, v) :: rest ->
+      if t -. current_t >= rtt then
+        bucket ((current_t, Float.max current_max v) :: acc) t v rest
+      else bucket acc current_t (Float.max current_max v) rest
+  in
+  match pts with [] -> [] | (t0, v0) :: rest -> bucket [] t0 v0 rest
+
+(* Gordon ships its own control data, gathered with its own coarse metric. *)
+let coarse_control =
+  lazy (Nebby.Training.train ~runs_per_cca:10 ~quic_runs_per_cca:2 ~transform:cwnd_style ())
+
+let outcome_label = function
+  | Identified name -> name
+  | Unknown -> "unknown"
+  | Short_flow -> "short_flow"
+  | Unresponsive -> "unresponsive"
+
+(* Gordon's grouping: it cannot distinguish within these buckets. *)
+let group_of = function
+  | "cubic" | "bic" -> Some "cubic"
+  | "bbr" | "bbr2" -> Some "bbr"
+  | "newreno" | "hstcp" -> Some "reno_hstcp"
+  | "illinois" -> Some "ctcp_illinois"
+  | _ -> None
+
+(* Classify from a cwnd-style trace subsampled at one point per RTT, the
+   granularity Gordon gets from counting unacked packets between forced
+   drops. We reuse Nebby's pipeline on the coarse series and then coarsen
+   the label to Gordon's buckets. *)
+let classify_coarse ~control:_ ~profile (result : Nebby.Testbed.result) =
+  let control = Lazy.force coarse_control in
+  let rtt = Nebby.Profile.rtt profile in
+  let coarse = cwnd_style ~rtt (Nebby.Bif.estimate result.Nebby.Testbed.trace) in
+  let prepared = Nebby.Pipeline.prepare ~rtt coarse in
+  let keyed = [ (profile.Nebby.Profile.name, prepared) ] in
+  match fst (Nebby.Classifier.classify_measurement ~control keyed) with
+  | Nebby.Classifier.Known label -> (
+    match group_of label with Some g -> Identified g | None -> Unknown)
+  | Nebby.Classifier.Unknown -> Unknown
+
+let probe ?(seed = 11) ~control ~region (site : Internet.Website.t) =
+  let rng =
+    Netsim.Rng.create (seed + site.Internet.Website.rank + (Internet.Region.index region * 131))
+  in
+  (* Gordon opens hundreds of connections and drops packets on each; a
+     defended site notices long before the survey completes *)
+  if Netsim.Rng.bool rng site.Internet.Website.ddos_sensitivity then
+    if Netsim.Rng.bool rng 0.77 then Short_flow else Unresponsive
+  else begin
+    let profile = Nebby.Profile.delay_50ms in
+    let noise =
+      Netsim.Path.scale (Internet.Region.noise region) site.Internet.Website.noise_factor
+    in
+    let cca = Internet.Website.cca_in site region in
+    let result =
+      Nebby.Testbed.run ~seed:(seed + (site.Internet.Website.rank * 7)) ~noise ~profile
+        ~page_bytes:site.Internet.Website.page_bytes
+        ~make_cca:(Cca.Registry.create cca) ()
+    in
+    classify_coarse ~control ~profile result
+  end
+
+let survey ?sites ?(seed = 11) ~control ~region websites =
+  let selected =
+    match sites with None -> websites | Some n -> List.filteri (fun i _ -> i < n) websites
+  in
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun site ->
+      let label = outcome_label (probe ~seed ~control ~region site) in
+      Hashtbl.replace tally label (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
+    selected;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

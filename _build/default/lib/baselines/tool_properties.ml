@@ -1,0 +1,19 @@
+type tool = { name : string; properties : (string * bool) list }
+
+let criteria =
+  [ "causality"; "robustness_to_noise"; "identify_unknown_ccas"; "cannot_seem_hostile";
+    "good_metric"; "works_with_encryption"; "client_agnostic" ]
+
+let make name flags = { name; properties = List.combine criteria flags }
+
+let tools =
+  [
+    make "TBIT" [ false; false; false; true; false; false; false ];
+    make "CAAI" [ false; false; false; true; false; false; false ];
+    make "Inspector Gadget" [ true; true; false; true; false; false; false ];
+    make "Gordon" [ true; true; true; false; false; false; false ];
+    make "Nebby" [ true; true; true; true; true; true; true ];
+  ]
+
+let property tool name =
+  match List.assoc_opt name tool.properties with Some b -> b | None -> false

@@ -1,0 +1,14 @@
+(** Table 1: the qualitative comparison of CCA identification tools against
+    the paper's primary challenges and extensibility requirements. *)
+
+type tool = { name : string; properties : (string * bool) list }
+
+val criteria : string list
+(** Column order: causality, robustness to noise, identifies unknown CCAs,
+    cannot seem hostile, good metric, works with encryption, client
+    agnostic. *)
+
+val tools : tool list
+(** TBIT, CAAI, Inspector Gadget, Gordon, Nebby — row order of Table 1. *)
+
+val property : tool -> string -> bool

@@ -1,0 +1,1 @@
+lib/cca/cca.ml: Akamai_cc Bbr Bic Cca_core Copa Cubic Hstcp Htcp Illinois Loss_based Newreno Registry Scalable Vegas Veno Vivace Westwood Yeah

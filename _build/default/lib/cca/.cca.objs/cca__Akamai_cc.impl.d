@@ -1,0 +1,1 @@
+lib/cca/akamai_cc.ml: Cca_core Float Netsim

@@ -1,0 +1,1 @@
+lib/cca/akamai_cc.mli: Cca_core

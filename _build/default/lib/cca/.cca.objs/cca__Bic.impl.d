@@ -1,0 +1,1 @@
+lib/cca/bic.ml: Cca_core Float Loss_based

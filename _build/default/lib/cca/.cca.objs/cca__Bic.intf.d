@@ -1,0 +1,1 @@
+lib/cca/bic.mli: Cca_core

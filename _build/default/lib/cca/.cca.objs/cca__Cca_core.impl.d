@@ -1,0 +1,1 @@
+lib/cca/cca_core.ml: Float List

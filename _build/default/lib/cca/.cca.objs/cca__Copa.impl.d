@@ -1,0 +1,1 @@
+lib/cca/copa.ml: Cca_core Float

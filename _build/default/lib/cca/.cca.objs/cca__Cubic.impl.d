@@ -1,0 +1,1 @@
+lib/cca/cubic.ml: Cca_core Float Loss_based

@@ -1,0 +1,1 @@
+lib/cca/cubic.mli: Cca_core

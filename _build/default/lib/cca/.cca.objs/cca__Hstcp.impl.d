@@ -1,0 +1,1 @@
+lib/cca/hstcp.ml: Cca_core Float Loss_based

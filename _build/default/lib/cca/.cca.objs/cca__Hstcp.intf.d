@@ -1,0 +1,1 @@
+lib/cca/hstcp.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/htcp.ml: Cca_core Float Loss_based

@@ -1,0 +1,1 @@
+lib/cca/htcp.mli: Cca_core

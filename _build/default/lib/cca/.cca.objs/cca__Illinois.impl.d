@@ -1,0 +1,1 @@
+lib/cca/illinois.ml: Cca_core Float Loss_based

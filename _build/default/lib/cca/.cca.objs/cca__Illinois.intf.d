@@ -1,0 +1,1 @@
+lib/cca/illinois.mli: Cca_core

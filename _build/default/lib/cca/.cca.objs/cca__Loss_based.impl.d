@@ -1,0 +1,1 @@
+lib/cca/loss_based.ml: Cca_core Float

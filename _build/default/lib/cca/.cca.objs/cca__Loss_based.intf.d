@@ -1,0 +1,1 @@
+lib/cca/loss_based.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/newreno.ml: Cca_core Loss_based

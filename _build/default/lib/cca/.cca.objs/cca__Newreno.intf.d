@@ -1,0 +1,1 @@
+lib/cca/newreno.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/registry.ml: Akamai_cc Bbr Bic Cca_core Copa Cubic Hstcp Htcp Illinois List Newreno Scalable Vegas Veno Vivace Westwood Yeah

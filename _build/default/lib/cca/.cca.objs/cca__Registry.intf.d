@@ -1,0 +1,1 @@
+lib/cca/registry.mli: Cca_core

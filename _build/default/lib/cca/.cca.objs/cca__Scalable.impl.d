@@ -1,0 +1,1 @@
+lib/cca/scalable.ml: Cca_core Loss_based

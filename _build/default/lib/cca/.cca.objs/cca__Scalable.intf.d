@@ -1,0 +1,1 @@
+lib/cca/scalable.mli: Cca_core

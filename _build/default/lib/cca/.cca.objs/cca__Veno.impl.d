@@ -1,0 +1,1 @@
+lib/cca/veno.ml: Cca_core Float Loss_based

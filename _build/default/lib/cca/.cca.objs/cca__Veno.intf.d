@@ -1,0 +1,1 @@
+lib/cca/veno.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/vivace.ml: Cca_core Float

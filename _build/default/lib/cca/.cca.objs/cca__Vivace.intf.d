@@ -1,0 +1,1 @@
+lib/cca/vivace.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/westwood.mli: Cca_core

@@ -1,0 +1,1 @@
+lib/cca/yeah.ml: Cca_core Float Loss_based

@@ -1,0 +1,1 @@
+lib/cca/yeah.mli: Cca_core

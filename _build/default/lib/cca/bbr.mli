@@ -1,0 +1,25 @@
+(** The BBR family (Cardwell et al.): model-based, rate-paced congestion
+    control. One engine drives all three variants; they differ in their
+    steady-state probing structure, which is exactly what Nebby's classifier
+    keys on (paper §3.4):
+
+    - {b v1}: ProbeBW gain cycling (pacing gain 1.25 for one min-RTT every 8
+      min-RTTs) and a ProbeRTT window drain every 10 s.
+    - {b v2}: a flat bandwidth "cruise" of at least ~2 s punctuated by gentler
+      probes, ProbeRTT every 5 s, and loss-adaptive inflight bounds.
+    - {b v3}: same cruise structure but with shorter probe spacing and the
+      ProbeRTT cadence returned to 10 s. (We did not have Google's v3 any
+      more than the paper did — Appendix E: "we were not able to tune our
+      BBR classifier for BBRv3"; what matters for reproduction is that v3 is
+      BBR-like yet matches neither the v1 nor the v2 signature, which these
+      parameters guarantee.) *)
+
+type variant = V1 | V2 | V3
+
+val create : ?pacing_gain_up:float -> variant -> Cca_core.params -> Cca_core.t
+(** [pacing_gain_up] overrides the bandwidth-probing gain (default 1.25);
+    Figure 1 of the paper contrasts gains 1.25 and 1.5. *)
+
+val create_v1 : Cca_core.params -> Cca_core.t
+val create_v2 : Cca_core.params -> Cca_core.t
+val create_v3 : Cca_core.params -> Cca_core.t

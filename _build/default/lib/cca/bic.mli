@@ -1,0 +1,5 @@
+(** BIC (Binary Increase Congestion control, Xu et al. 2004): binary search
+    towards the window at the last loss, then linear/max probing beyond it.
+    [beta = 0.8], [s_max = 32] as in the original paper. *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,21 @@
+(** Public face of the CCA library: the common interface plus every
+    implementation and the registry. *)
+
+include Cca_core
+module Loss_based = Loss_based
+module Newreno = Newreno
+module Cubic = Cubic
+module Bic = Bic
+module Hstcp = Hstcp
+module Htcp = Htcp
+module Illinois = Illinois
+module Scalable = Scalable
+module Vegas = Vegas
+module Veno = Veno
+module Westwood = Westwood
+module Yeah = Yeah
+module Bbr = Bbr
+module Akamai_cc = Akamai_cc
+module Copa = Copa
+module Vivace = Vivace
+module Registry = Registry

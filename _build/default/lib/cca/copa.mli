@@ -1,0 +1,8 @@
+(** Copa (Arun & Balakrishnan, NSDI 2018): targets a sending rate of
+    [1 / (delta * queueing_delay)] packets per RTT with [delta = 0.5],
+    moving the window towards the target with a velocity that doubles while
+    the direction persists. The signature Nebby's extension classifier keys
+    on (Appendix D) is the resulting oscillation around the bottleneck BDP
+    roughly every 5 RTTs. *)
+
+val create : Cca_core.params -> Cca_core.t

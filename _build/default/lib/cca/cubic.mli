@@ -1,0 +1,10 @@
+(** CUBIC (Ha, Rhee, Xu 2008; RFC 8312): window growth follows a cubic of
+    the time since the last congestion event, with a TCP-friendly floor.
+    [beta = 0.7], [c = 0.4], fast convergence enabled, as in the Linux
+    kernel defaults. *)
+
+val create : Cca_core.params -> Cca_core.t
+
+val create_custom : ?c:float -> ?beta:float -> Cca_core.params -> Cca_core.t
+(** Override the cubic coefficient and the back-off factor — how we model
+    non-conformant QUIC CUBIC implementations (paper §4.4). *)

@@ -1,0 +1,5 @@
+(** HighSpeed TCP (RFC 3649): the AIMD parameters a(w) and b(w) scale with
+    the window so large windows grow faster and back off less. Below
+    [w = 38] MSS it behaves exactly like standard TCP. *)
+
+val create : Cca_core.params -> Cca_core.t

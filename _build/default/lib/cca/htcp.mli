@@ -1,0 +1,5 @@
+(** H-TCP (Leith & Shorten 2005): the additive increase grows quadratically
+    with the time elapsed since the last back-off; the decrease factor
+    adapts to the RTT spread, clamped to [0.5, 0.8]. *)
+
+val create : Cca_core.params -> Cca_core.t

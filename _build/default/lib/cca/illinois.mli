@@ -1,0 +1,5 @@
+(** TCP Illinois (Liu, Başar, Srikant 2006): loss-based AIMD whose additive
+    increase alpha falls from 10 to 0.1 and whose decrease beta rises from
+    1/8 to 1/2 as the average queueing delay grows. *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,8 @@
+(** TCP NewReno (RFC 6582): AIMD with additive increase of one MSS per RTT
+    and multiplicative decrease of one half. *)
+
+val create : Cca_core.params -> Cca_core.t
+
+val create_custom : ?increment:float -> ?beta:float -> Cca_core.params -> Cca_core.t
+(** Override the per-RTT additive increase (in MSS) and the back-off
+    factor — how we model non-conformant QUIC Reno implementations. *)

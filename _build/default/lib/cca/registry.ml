@@ -1,0 +1,36 @@
+let table : (string * (Cca_core.params -> Cca_core.t)) list =
+  [
+    ("newreno", Newreno.create);
+    ("cubic", Cubic.create);
+    ("bic", Bic.create);
+    ("hstcp", Hstcp.create);
+    ("htcp", Htcp.create);
+    ("illinois", Illinois.create);
+    ("scalable", Scalable.create);
+    ("vegas", Vegas.create);
+    ("veno", Veno.create);
+    ("westwood", Westwood.create);
+    ("yeah", Yeah.create);
+    ("bbr", Bbr.create_v1);
+    ("bbr2", Bbr.create_v2);
+    ("bbr3", Bbr.create_v3);
+    ("akamai_cc", (fun p -> Akamai_cc.create p));
+    ("copa", Copa.create);
+    ("vivace", Vivace.create);
+  ]
+
+let loss_based =
+  [
+    "newreno"; "cubic"; "bic"; "hstcp"; "htcp"; "illinois"; "scalable"; "vegas"; "veno";
+    "westwood"; "yeah";
+  ]
+
+let kernel_ccas = loss_based @ [ "bbr" ]
+let all = List.map fst table
+
+let create name params =
+  match List.assoc_opt name table with
+  | Some make -> make params
+  | None -> raise Not_found
+
+let mem name = List.mem_assoc name table

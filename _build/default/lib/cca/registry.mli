@@ -1,0 +1,19 @@
+(** Name-indexed registry of all CCA constructors. *)
+
+val kernel_ccas : string list
+(** The 12 TCP variants of Linux kernel v5.18, by our registry names:
+    bbr, bic, cubic, hstcp, htcp, illinois, newreno, scalable, vegas, veno,
+    westwood, yeah. *)
+
+val loss_based : string list
+(** Kernel CCAs classified by the loss-based classifier (everything except
+    BBR). *)
+
+val all : string list
+(** Every registered CCA, including bbr2/bbr3 and the extensions
+    (akamai_cc, copa, vivace). *)
+
+val create : string -> Cca_core.params -> Cca_core.t
+(** @raise Not_found for unregistered names. *)
+
+val mem : string -> bool

@@ -1,0 +1,5 @@
+(** Scalable TCP (Kelly 2003): MIMD — the window grows by 0.01 MSS per
+    acknowledged MSS and shrinks by 1/8 on loss, so recovery time is
+    invariant to the window size. *)
+
+val create : Cca_core.params -> Cca_core.t

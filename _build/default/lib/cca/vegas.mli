@@ -1,0 +1,5 @@
+(** TCP Vegas (Brakmo & Peterson 1994): delay-based. Once per RTT the
+    window moves by at most one MSS so that the estimated backlog stays
+    between [alpha = 2] and [beta = 4] packets. *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,6 @@
+(** TCP Veno (Fu & Liew 2003): Reno enhanced with a Vegas-style backlog
+    estimate N. Increase slows to every other ack when N exceeds [beta = 3]
+    packets; the loss back-off is 0.8 when the loss looks random (small N)
+    and 0.5 when it looks congestive. *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,7 @@
+(** PCC Vivace (Dong et al., NSDI 2018): online rate optimization. In each
+    pair of monitor intervals the sender probes its rate up and down by
+    [epsilon = 5%], computes the Vivace utility of each probe and moves the
+    rate along the utility gradient. Nebby observes the resulting small
+    periodic steps in BiF (paper Appendix D, Fig. 11d). *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,5 @@
+(** TCP Westwood+ (Casetti et al. 2002): Reno-style growth, but on loss the
+    window is set to the estimated bandwidth-delay product, where bandwidth
+    comes from a low-pass filter over per-RTT ack rates. *)
+
+val create : Cca_core.params -> Cca_core.t

@@ -1,0 +1,6 @@
+(** YeAH-TCP (Baiocchi et al. 2007): Scalable-style "fast" growth while the
+    estimated queue is below [q_max = 80] packets, Reno-style "slow" mode
+    plus precautionary decongestion otherwise; losses subtract the measured
+    backlog rather than halving. *)
+
+val create : Cca_core.params -> Cca_core.t

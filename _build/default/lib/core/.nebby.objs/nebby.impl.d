@@ -1,0 +1,1 @@
+lib/core/nebby.ml: Akamai_classifier Bbr_classifier Bif Classifier Copa_classifier Features Loss_classifier Measurement Pipeline Plugin Profile Testbed Trace_sig Training Vivace_classifier

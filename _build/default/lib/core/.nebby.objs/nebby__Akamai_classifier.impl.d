@@ -1,0 +1,1 @@
+lib/core/akamai_classifier.ml: List Pipeline Plugin Trace_sig

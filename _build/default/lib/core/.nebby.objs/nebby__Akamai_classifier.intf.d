@@ -1,0 +1,1 @@
+lib/core/akamai_classifier.mli: Plugin

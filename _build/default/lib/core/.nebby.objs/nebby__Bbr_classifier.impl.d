@@ -1,0 +1,1 @@
+lib/core/bbr_classifier.ml: Float List Pipeline Plugin Trace_sig

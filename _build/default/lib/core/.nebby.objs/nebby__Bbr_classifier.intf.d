@@ -1,0 +1,1 @@
+lib/core/bbr_classifier.mli: Plugin

@@ -1,0 +1,1 @@
+lib/core/bif.ml: Array Float Hashtbl List Netsim Sigproc

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Akamai_classifier Bbr_classifier Copa_classifier List Loss_classifier Netsim Option Pipeline Plugin Training Vivace_classifier

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Netsim Pipeline Plugin Training

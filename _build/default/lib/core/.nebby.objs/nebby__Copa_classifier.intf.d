@@ -1,0 +1,1 @@
+lib/core/copa_classifier.mli: Plugin

@@ -1,0 +1,1 @@
+lib/core/features.ml: Array Float List Option Pipeline Sigproc

@@ -1,0 +1,1 @@
+lib/core/loss_classifier.ml: Array Features List Netsim Option Pipeline Plugin Profile Sigproc Training

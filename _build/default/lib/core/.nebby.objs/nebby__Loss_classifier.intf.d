@@ -1,0 +1,1 @@
+lib/core/loss_classifier.mli: Netsim Pipeline Plugin Training

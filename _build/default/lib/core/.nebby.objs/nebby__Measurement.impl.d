@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Bif Cca Classifier List Netsim Pipeline Profile Testbed Training

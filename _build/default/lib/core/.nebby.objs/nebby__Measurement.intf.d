@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Cca Classifier Netsim Pipeline Plugin Profile Testbed Training

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Float List Option Sigproc

@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Cca List Netsim Profile Transport

@@ -1,0 +1,1 @@
+lib/core/testbed.mli: Cca Netsim Profile

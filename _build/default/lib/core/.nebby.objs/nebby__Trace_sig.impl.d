@@ -1,0 +1,1 @@
+lib/core/trace_sig.ml: Array Float List Pipeline Sigproc

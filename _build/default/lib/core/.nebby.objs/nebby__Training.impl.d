@@ -1,0 +1,1 @@
+lib/core/training.ml: Array Bif Cca Features Float Hashtbl Lazy List Netsim Option Pipeline Profile Sigproc Testbed

@@ -1,0 +1,1 @@
+lib/core/training.mli: Netsim Profile Sigproc

@@ -1,0 +1,1 @@
+lib/core/vivace_classifier.ml: Array Float List Pipeline Plugin Trace_sig

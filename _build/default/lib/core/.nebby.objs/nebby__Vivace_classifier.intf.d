@@ -1,0 +1,1 @@
+lib/core/vivace_classifier.mli: Plugin

@@ -1,0 +1,48 @@
+let classify (p : Pipeline.t) =
+  let drains = Trace_sig.deep_drains ~min_depth:0.5 ~max_trough:0.4 p in
+  let interval_ok =
+    match drains with
+    | [] -> false
+    | [ only ] ->
+      (* a single back-off in a short trace: accept if it sits 9-22 s after
+         the trace head, i.e. consistent with the 10-20 s epoch length *)
+      let head = p.t0 in
+      only -. head >= 9.0 && only -. head <= 22.0
+    | _ -> (
+      match Trace_sig.interval_stats (Trace_sig.intervals drains) with
+      | Some (mean, cov) -> mean >= 9.0 && mean <= 22.0 && cov < 0.35
+      | None -> false)
+  in
+  let flats = List.map Trace_sig.flatness p.segments in
+  let mean_flat =
+    match flats with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 flats /. float_of_int (List.length flats)
+  in
+  let steady = p.segments <> [] && List.for_all (fun f -> f > 0.7) flats in
+  (* a 10 s cadence overlaps BBRv1's ProbeRTT; only accept it when the
+     plateau is far flatter than a probing BBR cruise ever is *)
+  let slow_enough =
+    let offsets = List.map (fun t -> t -. p.t0) drains in
+    match Trace_sig.interval_stats (Trace_sig.intervals drains) with
+    | Some (mean, _) -> mean >= 11.5 || mean_flat >= 0.93
+    | None -> (
+      match offsets with [ o ] -> o >= 11.5 || mean_flat >= 0.93 | _ -> false)
+  in
+  (* what separates this from BBRv1 (whose ProbeRTT drains have a similar
+     cadence) is the absence of the 8-RTT bandwidth-probe ripple *)
+  let no_v1_ripple =
+    List.for_all
+      (fun seg ->
+        match Trace_sig.oscillation_period p seg with
+        | Some period ->
+          let rtts = period /. p.rtt in
+          rtts < 4.5 || rtts > 11.5
+        | None -> true)
+      p.segments
+  in
+  if interval_ok && steady && slow_enough && no_v1_ripple then
+    Some { Plugin.label = "akamai_cc"; confidence = 0.8 }
+  else None
+
+let plugin = { Plugin.name = "akamai_cc"; classify }

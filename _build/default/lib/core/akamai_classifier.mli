@@ -1,0 +1,7 @@
+(** The pluggable AkamaiCC classifier the paper adds in §4.3: a flow that
+    holds BiF at a steady level and backs off deeply at intervals of
+    10-20 s, with no bandwidth-probe structure. Its parameters were derived
+    from Akamai-hosted traces rather than ground truth, exactly as in the
+    paper. *)
+
+val plugin : Plugin.t

@@ -1,0 +1,64 @@
+let label_unknown_bbr = "bbr_unknown"
+
+let mean_flatness (p : Pipeline.t) =
+  match p.segments with
+  | [] -> 0.0
+  | segs ->
+    let vals = List.map Trace_sig.flatness segs in
+    List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+
+let longest_cruise (p : Pipeline.t) =
+  List.fold_left (fun acc seg -> Float.max acc (Trace_sig.longest_flat_span p seg)) 0.0 p.segments
+
+(* Dominant oscillation period across segments, in RTTs: BBRv1's gain cycle
+   leaves a ripple with period 8 min-RTTs on every cruise plateau. The
+   autocorrelation sometimes locks onto a subharmonic (an integer multiple
+   of the fundamental), so the smallest detected period is the estimate. *)
+let ripple_period_rtts (p : Pipeline.t) =
+  let periods = List.filter_map (Trace_sig.oscillation_period p) p.segments in
+  match periods with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Float.min first rest /. p.rtt)
+
+let classify (p : Pipeline.t) =
+  let flat = mean_flatness p in
+  if flat < 0.35 || p.segments = [] then None
+  else begin
+    (* a rate-based sender cruising on plateaus: which BBR is it? *)
+    let drains =
+      List.filter (fun t -> t -. p.t0 > 3.0) (Trace_sig.deep_drains p)
+    in
+    let drain_interval = Trace_sig.interval_stats (Trace_sig.intervals drains) in
+    let ripple = ripple_period_rtts p in
+    let cruise = longest_cruise p in
+    let ripple_v1 = match ripple with Some r -> r >= 5.0 && r <= 10.5 | None -> false in
+    let v1 =
+      ripple_v1
+      &&
+      match (drain_interval, drains) with
+      | Some (mean, cov), _ -> mean >= 8.0 && mean <= 12.5 && cov < 0.4
+      | None, [ only ] ->
+        (* short trace with a single ProbeRTT: check its 10 s offset *)
+        only -. p.t0 >= 8.0 && only -. p.t0 <= 13.0
+      | None, _ -> false
+    in
+    let v2 =
+      (not ripple_v1)
+      && cruise >= 1.5
+      &&
+      match drain_interval with
+      | Some (mean, cov) -> mean >= 3.5 && mean <= 6.8 && cov < 0.4
+      | None -> false
+    in
+    if v1 then Some { Plugin.label = "bbr"; confidence = 0.9 }
+    else if v2 then Some { Plugin.label = "bbr2"; confidence = 0.85 }
+    else
+      match drain_interval with
+      | Some (mean, cov) when cov < 0.45 && mean >= 4.0 && mean <= 13.0 && flat < 0.95 ->
+        (* rate-based, periodic pipe-emptying drains on a ProbeRTT-like
+           cadence, but neither known signature: an undocumented BBR *)
+        Some { Plugin.label = label_unknown_bbr; confidence = 0.45 }
+      | Some _ | None -> None
+  end
+
+let plugin = { Plugin.name = "bbr"; classify }

@@ -1,0 +1,14 @@
+(** The BBR classifier (paper §3.4 step 5).
+
+    Classifies a trace as BBRv1, BBRv2, or a BBR-like unknown:
+    - {b bbr} (v1): bandwidth probes every ~8 RTTs plus a ProbeRTT drain
+      every ~10 s;
+    - {b bbr2}: a flat cruise of at least ~2 s with drains every ~5 s;
+    - {b bbr_unknown}: clearly rate-based (plateaus + periodic deep drains)
+      but matching neither rule. The paper's census infers these to be
+      BBRv3 when observed in the wild (§4.2, Appendix E). *)
+
+val label_unknown_bbr : string
+(** ["bbr_unknown"]. *)
+
+val plugin : Plugin.t

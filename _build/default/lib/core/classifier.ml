@@ -1,0 +1,47 @@
+type outcome = Known of string | Unknown
+
+let rate_based_plugins = [ Bbr_classifier.plugin ]
+
+let extension_plugins =
+  [ Akamai_classifier.plugin; Copa_classifier.plugin; Vivace_classifier.plugin ]
+
+let default_plugins (_ : Training.control) = rate_based_plugins
+let extended_plugins control = default_plugins control @ extension_plugins
+
+let combine verdicts =
+  let labels = List.sort_uniq compare (List.map (fun v -> v.Plugin.label) verdicts) in
+  match labels with
+  | [ label ] -> Known label
+  | [] -> Unknown
+  | _ :: _ :: _ ->
+    (* classifiers disagree: accept a decisively more confident verdict,
+       otherwise leave unknown as the paper's rule dictates *)
+    let sorted =
+      List.sort (fun a b -> compare b.Plugin.confidence a.Plugin.confidence) verdicts
+    in
+    (match sorted with
+    | best :: second :: _
+      when best.Plugin.label <> second.Plugin.label
+           && best.Plugin.confidence >= second.Plugin.confidence +. 0.3 ->
+      Known best.Plugin.label
+    | best :: _ when List.for_all (fun v -> v.Plugin.label = best.Plugin.label) sorted ->
+      Known best.Plugin.label
+    | _ -> Unknown)
+
+let classify ~plugins prepared =
+  let verdicts = List.filter_map (fun p -> p.Plugin.classify prepared) plugins in
+  (combine verdicts, verdicts)
+
+let classify_measurement ?(plugins = []) ?(proto = Netsim.Packet.Tcp) ~control
+    (prepared : (string * Pipeline.t) list) =
+  let plugins = if plugins = [] then extended_plugins control else plugins in
+  let loss = Loss_classifier.classify_joint ~proto control prepared in
+  let per_trace =
+    List.concat_map
+      (fun (_, p) -> List.filter_map (fun plugin -> plugin.Plugin.classify p) plugins)
+      prepared
+  in
+  let verdicts = Option.to_list loss @ per_trace in
+  (combine verdicts, verdicts)
+
+let outcome_label = function Known l -> l | Unknown -> "unknown"

@@ -1,0 +1,38 @@
+(** Running the classifiers over a measurement and combining their verdicts
+    (paper Fig. 6).
+
+    A measurement carries one prepared trace per network profile. The
+    loss-based classifier consumes all profiles jointly (that is what the
+    second profile exists for); the rate-based plugins (BBR and any
+    registered extensions) run per trace. The combination rule mirrors the
+    paper: agreement on one label classifies the measurement; claims for
+    two different CCAs leave it Unknown unless one verdict is decisively
+    more confident. *)
+
+type outcome = Known of string | Unknown
+
+val rate_based_plugins : Plugin.t list
+(** Just the BBR classifier: Nebby's second built-in. *)
+
+val extension_plugins : Plugin.t list
+(** AkamaiCC (§4.3), Copa and Vivace (Appendix D). *)
+
+val default_plugins : Training.control -> Plugin.t list
+val extended_plugins : Training.control -> Plugin.t list
+
+val classify : plugins:Plugin.t list -> Pipeline.t -> outcome * Plugin.verdict list
+(** Run per-trace plugins only (no loss-based classifier) on one trace. *)
+
+val classify_measurement :
+  ?plugins:Plugin.t list ->
+  ?proto:Netsim.Packet.proto ->
+  control:Training.control ->
+  (string * Pipeline.t) list ->
+  outcome * Plugin.verdict list
+(** Full classification of a measurement given (profile name, prepared
+    trace) pairs. [plugins] defaults to {!extended_plugins}. *)
+
+val combine : Plugin.verdict list -> outcome
+
+val outcome_label : outcome -> string
+(** The label, or ["unknown"]. *)

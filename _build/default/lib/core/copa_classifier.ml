@@ -1,0 +1,56 @@
+(* Copa's velocity-driven oscillation shows up either as a ripple inside
+   long segments or as a regular cadence of shallow back-offs, depending on
+   whether the segmenter splits the dips; both observations mean the same
+   thing, so accept either. *)
+let cadence_rule (p : Pipeline.t) =
+  let dips = List.map (fun (b : Pipeline.backoff_info) -> b.at) p.backoffs in
+  let shallow =
+    List.for_all (fun (b : Pipeline.backoff_info) -> b.trough > 0.35) p.backoffs
+    && p.backoffs <> []
+  in
+  (* Copa's swings are pronounced (the velocity overshoots); Vivace's 5%
+     probe steps must not match here *)
+  let pronounced =
+    let depths = List.map (fun (b : Pipeline.backoff_info) -> b.depth) p.backoffs in
+    depths <> []
+    && List.fold_left ( +. ) 0.0 depths /. float_of_int (List.length depths) >= 0.22
+  in
+  match Trace_sig.interval_stats (Trace_sig.intervals dips) with
+  | Some (mean, cov) ->
+    let in_rtts = mean /. p.rtt in
+    shallow && pronounced && cov < 0.35 && in_rtts >= 3.0 && in_rtts <= 16.0
+    && List.length dips >= 4
+  | None -> false
+
+let classify (p : Pipeline.t) =
+  let deep = Trace_sig.deep_drains ~min_depth:0.5 ~max_trough:0.35 p in
+  if deep <> [] then None
+  else if cadence_rule p then Some { Plugin.label = "copa"; confidence = 0.7 }
+  else begin
+    let periods = List.filter_map (Trace_sig.oscillation_period p) p.segments in
+    match periods with
+    | [] -> None
+    | _ ->
+      let mean_period =
+        List.fold_left ( +. ) 0.0 periods /. float_of_int (List.length periods)
+      in
+      let in_rtts = mean_period /. p.rtt in
+      (* the oscillation must be the trace's dominant behaviour, not an
+         incidental wiggle of one segment among many *)
+      let coverage =
+        float_of_int (List.length periods) /. float_of_int (List.length p.segments)
+      in
+      (* Copa's oscillation swings a large fraction of the BiF level;
+         Vivace's 5% probe steps do not *)
+      let amp_ok =
+        List.exists
+          (fun (seg : Pipeline.segment) ->
+            seg.raw_max > 0.0 && (seg.raw_max -. seg.raw_min) /. seg.raw_max > 0.4)
+          p.segments
+      in
+      if in_rtts >= 4.0 && in_rtts <= 9.0 && coverage >= 0.6 && amp_ok then
+        Some { Plugin.label = "copa"; confidence = 0.7 }
+      else None
+  end
+
+let plugin = { Plugin.name = "copa"; classify }

@@ -1,0 +1,5 @@
+(** Copa classifier (paper Appendix D): periodic oscillation around the
+    bottleneck BDP roughly every 5 RTTs, with no deep loss-style
+    back-offs. The paper reports ~88 % accuracy for this extension. *)
+
+val plugin : Plugin.t

@@ -1,0 +1,55 @@
+type report = { label : string; attempts : int; per_profile : (string * string) list }
+
+let max_attempts = 5
+
+let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
+    (result : Testbed.result) =
+  let rtt = Profile.rtt profile in
+  let bif = transform ~rtt (Bif.estimate result.Testbed.trace) in
+  Pipeline.prepare ?smoothen ~rtt bif
+
+let classify_trace ?plugins ?proto ~control ~profile (result : Testbed.result) =
+  let prepared = prepare_result ~profile result in
+  fst
+    (Classifier.classify_measurement ?plugins ?proto ~control
+       [ (profile.Profile.name, prepared) ])
+
+let measure ?plugins ?profiles ?transform ?smoothen ?(noise = Netsim.Path.mild)
+    ?(proto = Netsim.Packet.Tcp) ?(page_bytes = Profile.default_page_bytes) ?(seed = 99)
+    ~control ~make_cca () =
+  let profiles = match profiles with Some p -> p | None -> control.Training.profiles in
+  let attempt n =
+    let prepared =
+      List.mapi
+        (fun i profile ->
+          let run_seed = seed + (7919 * n) + (31 * i) in
+          let result =
+            Testbed.run ~seed:run_seed ~noise ~proto ~page_bytes ~profile ~make_cca ()
+          in
+          (profile, prepare_result ?transform ?smoothen ~profile result))
+        profiles
+    in
+    let keyed = List.map (fun (p, prep) -> (p.Profile.name, prep)) prepared in
+    let outcome, _ = Classifier.classify_measurement ?plugins ~proto ~control keyed in
+    let per_profile =
+      List.map
+        (fun (name, prep) ->
+          let o, _ =
+            Classifier.classify_measurement ?plugins ~proto ~control [ (name, prep) ]
+          in
+          (name, Classifier.outcome_label o))
+        keyed
+    in
+    (outcome, per_profile)
+  in
+  let rec go n =
+    let outcome, per_profile = attempt n in
+    match outcome with
+    | Classifier.Known label -> { label; attempts = n; per_profile }
+    | Classifier.Unknown when n < max_attempts -> go (n + 1)
+    | Classifier.Unknown -> { label = "unknown"; attempts = n; per_profile }
+  in
+  go 1
+
+let measure_cca ?plugins ?noise ?proto ?seed ~control name =
+  measure ?plugins ?noise ?proto ?seed ~control ~make_cca:(Cca.Registry.create name) ()

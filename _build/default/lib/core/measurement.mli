@@ -1,0 +1,59 @@
+(** The measurement orchestrator: how Nebby measures one target server.
+
+    Each attempt downloads the target page under both network profiles
+    (§3.3), classifies each trace, and combines: agreement or a single
+    decisive profile yields a classification; a conflict or two unknowns
+    triggers a retry with a fresh seed, up to 5 attempts (§2.1, "Handling
+    Noisy Measurements"). *)
+
+type report = {
+  label : string;  (** final classification, or ["unknown"] *)
+  attempts : int;  (** measurement attempts consumed (1-5) *)
+  per_profile : (string * string) list;
+      (** (profile name, label) for the last attempt *)
+}
+
+val max_attempts : int
+
+val classify_trace :
+  ?plugins:Plugin.t list ->
+  ?proto:Netsim.Packet.proto ->
+  control:Training.control ->
+  profile:Profile.t ->
+  Testbed.result ->
+  Classifier.outcome
+(** Classify a single already-captured trace. *)
+
+val prepare_result :
+  ?transform:(rtt:float -> (float * float) list -> (float * float) list) ->
+  ?smoothen:bool ->
+  profile:Profile.t ->
+  Testbed.result ->
+  Pipeline.t
+(** Estimate BiF and run the preparation pipeline for one captured trace.
+    [transform] degrades the series first (metric ablations). *)
+
+val measure :
+  ?plugins:Plugin.t list ->
+  ?profiles:Profile.t list ->
+  ?transform:(rtt:float -> (float * float) list -> (float * float) list) ->
+  ?smoothen:bool ->
+  ?noise:Netsim.Path.noise ->
+  ?proto:Netsim.Packet.proto ->
+  ?page_bytes:int ->
+  ?seed:int ->
+  control:Training.control ->
+  make_cca:(Cca.params -> Cca.t) ->
+  unit ->
+  report
+(** Measure a simulated target server end to end. *)
+
+val measure_cca :
+  ?plugins:Plugin.t list ->
+  ?noise:Netsim.Path.noise ->
+  ?proto:Netsim.Packet.proto ->
+  ?seed:int ->
+  control:Training.control ->
+  string ->
+  report
+(** Convenience wrapper resolving the CCA by registry name. *)

@@ -1,0 +1,2 @@
+type verdict = { label : string; confidence : float }
+type t = { name : string; classify : Pipeline.t -> verdict option }

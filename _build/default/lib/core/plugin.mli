@@ -1,0 +1,8 @@
+(** Pluggable classifier interface (paper §3.4): Nebby ships a loss-based
+    classifier and a BBR classifier, and is extended by registering more
+    plugins (AkamaiCC in §4.3, Copa and PCC Vivace in Appendix D) that all
+    run concurrently over the same prepared trace. *)
+
+type verdict = { label : string; confidence : float }
+
+type t = { name : string; classify : Pipeline.t -> verdict option }

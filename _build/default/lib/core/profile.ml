@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  bandwidth : float;
+  extra_delay : float;
+  base_delay : float;
+  buffer_bytes : int;
+}
+
+let rtt t = 2.0 *. (t.base_delay +. t.extra_delay)
+let bdp t = t.bandwidth *. rtt t
+
+let make ?name ?(bandwidth_kbps = 200.0) ?(base_delay = 0.010) ?(buffer_bdp = 2.0)
+    ~extra_delay () =
+  let bandwidth = Netsim.Units.bytes_per_sec_of_kbps bandwidth_kbps in
+  let nominal_rtt = 2.0 *. (base_delay +. extra_delay) in
+  let buffer_bytes = int_of_float (buffer_bdp *. bandwidth *. nominal_rtt) in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%.0fkbps+%.0fms" bandwidth_kbps (extra_delay *. 1000.0)
+  in
+  { name; bandwidth; extra_delay; base_delay; buffer_bytes }
+
+let delay_50ms = make ~extra_delay:0.050 ()
+let delay_100ms = make ~extra_delay:0.100 ()
+let default_pair = [ delay_50ms; delay_100ms ]
+let default_page_bytes = 600 * 1000

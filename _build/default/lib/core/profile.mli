@@ -1,0 +1,41 @@
+(** Network profiles (paper §3.3): the bandwidth/delay/buffer constraints
+    Nebby applies at its capture-point bottleneck.
+
+    The paper's minimal set is two profiles — 200 Kbps, a 2-BDP droptail
+    buffer, and an added one-way delay of 50 ms and 100 ms respectively —
+    which suffice to tell apart all 13 known CCAs without introducing any
+    artificial packet drops. *)
+
+type t = {
+  name : string;
+  bandwidth : float;  (** bottleneck rate, bytes per second *)
+  extra_delay : float;  (** added one-way delay at the capture point, s *)
+  base_delay : float;  (** one-way server-to-capture propagation, s *)
+  buffer_bytes : int;  (** droptail buffer at the bottleneck *)
+}
+
+val rtt : t -> float
+(** Nominal round-trip time: [2 * (base_delay + extra_delay)]. *)
+
+val bdp : t -> float
+(** Bandwidth-delay product at the nominal RTT, bytes. *)
+
+val make : ?name:string -> ?bandwidth_kbps:float -> ?base_delay:float ->
+  ?buffer_bdp:float -> extra_delay:float -> unit -> t
+(** Defaults: 200 Kbps, 10 ms base one-way delay, buffer of 2 BDP. *)
+
+val delay_50ms : t
+(** The primary profile: 200 Kbps, +50 ms one-way. *)
+
+val delay_100ms : t
+(** The disambiguation profile: 200 Kbps, +100 ms one-way. *)
+
+val default_pair : t list
+(** [[delay_50ms; delay_100ms]] — the paper's minimal set. *)
+
+val default_page_bytes : int
+(** Default page size for measurements: 600 KB, giving ~24 s traces at
+    200 Kbps. The paper crawls each site for its largest page with a
+    400 KB floor ("all our measurements were longer than 18 s"); the
+    extra length guarantees at least two BBRv1 ProbeRTT drains per
+    trace. *)

@@ -1,0 +1,85 @@
+type result = {
+  trace : Netsim.Trace.t;
+  ground_truth_bif : (float * float) list;
+  finished : bool;
+  duration : float;
+  bottleneck_drops : int;
+  retransmissions : int;
+  cca_name : string;
+}
+
+let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
+    ?(params = Cca.default_params) ?(page_bytes = Profile.default_page_bytes)
+    ?(time_limit = 60.0) ?ack_every ~profile ~make_cca () =
+  let sim = Netsim.Sim.create () in
+  let rng = Netsim.Rng.create seed in
+  let trace = Netsim.Trace.create () in
+  let cca = make_cca params in
+  let ack_every =
+    match ack_every with
+    | Some n -> n
+    | None -> (
+      (* QUIC uses a truly constant ACK frequency: the paper's encrypted
+         BiF estimator divides total bytes by total ACK count, which is
+         only sound when the frequency does not change mid-connection *)
+      match proto with Netsim.Packet.Tcp -> 1 | Netsim.Packet.Quic -> 1)
+  in
+  (* forward references to break the construction cycle *)
+  let sender_ref = ref None in
+  let deliver_to_sender pkt =
+    match !sender_ref with Some s -> Transport.Sender.handle_ack s pkt | None -> ()
+  in
+  let path_up =
+    Netsim.Path.create sim (Netsim.Rng.split rng) ~delay:profile.Profile.base_delay ~noise
+      ~sink:deliver_to_sender
+  in
+  let receiver_ref = ref None in
+  let deliver_to_receiver pkt =
+    match !receiver_ref with Some r -> Transport.Receiver.handle_data r pkt | None -> ()
+  in
+  let bottleneck =
+    Netsim.Link.create sim ~rate:profile.Profile.bandwidth
+      ~buffer_bytes:profile.Profile.buffer_bytes ~extra_delay:profile.Profile.extra_delay
+      ~sink:deliver_to_receiver ()
+  in
+  let capture_in pkt =
+    (* data arriving from the wide area: record, then enqueue at bottleneck *)
+    Netsim.Trace.record trace ~now:(Netsim.Sim.now sim) pkt;
+    Netsim.Link.send bottleneck pkt
+  in
+  let path_down =
+    Netsim.Path.create sim (Netsim.Rng.split rng) ~delay:profile.Profile.base_delay ~noise
+      ~sink:capture_in
+  in
+  let capture_out pkt =
+    (* acks returning from the client: record, then send over the wide area *)
+    Netsim.Trace.record trace ~now:(Netsim.Sim.now sim) pkt;
+    Netsim.Path.send path_up pkt
+  in
+  let client_out pkt =
+    (* the added one-way delay also applies on the return direction *)
+    Netsim.Sim.after sim profile.Profile.extra_delay (fun () -> capture_out pkt)
+  in
+  let receiver = Transport.Receiver.create sim ~proto ~ack_every ~out:client_out () in
+  receiver_ref := Some receiver;
+  let sender =
+    Transport.Sender.create sim ~cca ~proto ~params ~total_bytes:page_bytes
+      ~out:(fun pkt -> Netsim.Path.send path_down pkt)
+  in
+  sender_ref := Some sender;
+  Transport.Sender.start sender;
+  Netsim.Sim.run ~until:time_limit sim;
+  {
+    trace;
+    ground_truth_bif =
+      List.map (fun (t, b) -> (t, float_of_int b)) (Transport.Sender.bif_samples sender);
+    finished = Transport.Sender.finished sender;
+    duration = Netsim.Sim.now sim;
+    bottleneck_drops = Netsim.Link.drops bottleneck;
+    retransmissions = Transport.Sender.retransmissions sender;
+    cca_name = cca.Cca.name;
+  }
+
+let run_cca ?seed ?noise ?proto ?page_bytes ?time_limit ~profile name =
+  run ?seed ?noise ?proto ?page_bytes ?time_limit ~profile
+    ~make_cca:(Cca.Registry.create name) ()

@@ -1,0 +1,51 @@
+(** One measurement: a simulated target server downloading a page to the
+    measuring client through Nebby's capture-point bottleneck.
+
+    Topology (paper Fig. 2), data flowing left to right:
+
+    {v
+    server --(wide-area path: base delay + noise)--> [capture point]
+      --(bottleneck: rate, droptail buffer)--(added one-way delay)--> client
+    client acks --(added one-way delay)--> [capture point]
+      --(wide-area path back)--> server
+    v}
+
+    The capture point records every packet it forwards, in both directions,
+    which is the only input Nebby's classifier gets. The sender additionally
+    exports ground-truth BiF for calibration experiments. *)
+
+type result = {
+  trace : Netsim.Trace.t;
+  ground_truth_bif : (float * float) list;  (** (time, bytes) at the sender *)
+  finished : bool;  (** whole page acknowledged within the time limit *)
+  duration : float;  (** virtual seconds simulated *)
+  bottleneck_drops : int;
+  retransmissions : int;
+  cca_name : string;
+}
+
+val run :
+  ?seed:int ->
+  ?noise:Netsim.Path.noise ->
+  ?proto:Netsim.Packet.proto ->
+  ?params:Cca.params ->
+  ?page_bytes:int ->
+  ?time_limit:float ->
+  ?ack_every:int ->
+  profile:Profile.t ->
+  make_cca:(Cca.params -> Cca.t) ->
+  unit ->
+  result
+(** Defaults: no noise, TCP, default params, the paper's 400 KB page, a
+    60 s wall, acks on every packet (2 for QUIC). *)
+
+val run_cca :
+  ?seed:int ->
+  ?noise:Netsim.Path.noise ->
+  ?proto:Netsim.Packet.proto ->
+  ?page_bytes:int ->
+  ?time_limit:float ->
+  profile:Profile.t ->
+  string ->
+  result
+(** Convenience: look the CCA up in {!Cca.Registry}. *)

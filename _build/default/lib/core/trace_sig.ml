@@ -1,0 +1,128 @@
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2) else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end
+
+let deep_drains ?(min_depth = 0.55) ?(max_trough = 0.40) ?(min_dwell = 0.25)
+    ?(max_pre_slope = 0.08) (p : Pipeline.t) =
+  List.filter_map
+    (fun (b : Pipeline.backoff_info) ->
+      if
+        b.depth >= min_depth && b.trough <= max_trough && b.dwell >= min_dwell
+        (* one-sided: only a RISING approach betrays an AIMD ramp; falling
+           or flat approaches are how rate-based drains arrive *)
+        && b.pre_slope <= max_pre_slope
+      then Some b.at
+      else None)
+    p.backoffs
+
+let intervals times =
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | [ _ ] | [] -> []
+  in
+  gaps times
+
+let interval_stats = function
+  | [] -> None
+  | gaps ->
+    let arr = Array.of_list gaps in
+    let mean = Sigproc.Series.mean arr in
+    if mean <= 0.0 then None
+    else Some (mean, Sigproc.Series.std arr /. mean)
+
+let probe_spikes (p : Pipeline.t) (seg : Pipeline.segment) =
+  let deriv = Sigproc.Series.derivative ~dt:p.dt seg.values in
+  let amp = Float.max 1.0 (seg.raw_max -. seg.raw_min) in
+  let level = Float.max seg.raw_max amp in
+  (* a probe pushes BiF up markedly faster than steady growth *)
+  let thresh = 0.07 *. level /. p.rtt in
+  let n = Array.length deriv in
+  let min_gap = int_of_float (2.0 *. p.rtt /. p.dt) in
+  let rec scan i last acc =
+    if i >= n then List.rev acc
+    else if deriv.(i) > thresh && i - last >= min_gap then
+      scan (i + 1) i (float_of_int i *. p.dt :: acc)
+    else scan (i + 1) last acc
+  in
+  scan 0 (-min_gap) []
+
+let flatness (seg : Pipeline.segment) =
+  let m = median seg.values in
+  if m <= 0.0 then 0.0
+  else begin
+    let ok = Array.fold_left (fun acc v -> if Float.abs (v -. m) <= 0.12 *. m then acc + 1 else acc) 0 seg.values in
+    float_of_int ok /. float_of_int (Array.length seg.values)
+  end
+
+let longest_flat_span (p : Pipeline.t) (seg : Pipeline.segment) =
+  let n = Array.length seg.values in
+  let rec go i run_start level best =
+    if i >= n then Float.max best (float_of_int (i - run_start) *. p.dt)
+    else if level > 0.0 && Float.abs (seg.values.(i) -. level) <= 0.08 *. level then
+      go (i + 1) run_start level best
+    else
+      go (i + 1) i seg.values.(i) (Float.max best (float_of_int (i - run_start) *. p.dt))
+  in
+  if n = 0 then 0.0 else go 1 0 seg.values.(0) 0.0
+
+(* Dominant periodicity via the autocorrelation of the linearly detrended
+   segment: robust against the measurement noise that defeats peak
+   counting. Searches lags from 3 RTTs up to a third of the segment. *)
+let oscillation_period (p : Pipeline.t) (seg : Pipeline.segment) =
+  let n = Array.length seg.values in
+  let min_lag = max 2 (int_of_float (3.0 *. p.rtt /. p.dt)) in
+  let max_lag = n / 3 in
+  if n < 12 || max_lag <= min_lag then None
+  else begin
+    (* remove slow wander with a moving average over ~10 RTTs so the
+       autocorrelation sees only the ripple band *)
+    let ma_win = max 3 (int_of_float (16.0 *. p.rtt /. p.dt)) in
+    let resid =
+      Array.init n (fun i ->
+          let lo = max 0 (i - (ma_win / 2)) and hi = min (n - 1) (i + (ma_win / 2)) in
+          let acc = ref 0.0 in
+          for k = lo to hi do
+            acc := !acc +. seg.values.(k)
+          done;
+          seg.values.(i) -. (!acc /. float_of_int (hi - lo + 1)))
+    in
+    let var = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 resid /. float_of_int n in
+    if var <= 1e-9 then None
+    else begin
+      let autocorr lag =
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 - lag do
+          acc := !acc +. (resid.(i) *. resid.(i + lag))
+        done;
+        !acc /. (float_of_int (n - lag) *. var)
+      in
+      (* smoothing correlates neighbouring samples, so the autocorrelation
+         starts high at small lags; wait for it to decay below 0.2 first,
+         then take the best true peak beyond that (standard pitch hunt) *)
+      let rec find_decay lag =
+        if lag > max_lag then None
+        else if autocorr lag < 0.2 then Some lag
+        else find_decay (lag + 1)
+      in
+      match find_decay min_lag with
+      | None -> None
+      | Some decayed ->
+        (* first local maximum above threshold after decorrelation: the
+           fundamental period, not one of its harmonics *)
+        let rec first_peak lag =
+          if lag + 1 > max_lag then None
+          else begin
+            let prev = autocorr (lag - 1) and c = autocorr lag and next = autocorr (lag + 1) in
+            if c > 0.3 && c >= prev && c >= next then Some lag else first_peak (lag + 1)
+          end
+        in
+        (match first_peak (decayed + 1) with
+        | Some lag -> Some (float_of_int lag *. p.dt)
+        | None -> None)
+    end
+  end

@@ -1,0 +1,6 @@
+(** PCC Vivace classifier (paper Appendix D): looks for the small periodic
+    rate-probe steps Vivace's monitor intervals leave in the BiF trace. The
+    steps are small relative to noise, so — as the paper reports — this
+    classifier only succeeds about half the time (~58 %). *)
+
+val plugin : Plugin.t

@@ -1,0 +1,1 @@
+lib/internet/browser.ml: Cca Heavy_hitters List Nebby Netsim Transport

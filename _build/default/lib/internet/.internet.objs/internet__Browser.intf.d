@@ -1,0 +1,1 @@
+lib/internet/browser.mli: Heavy_hitters Nebby

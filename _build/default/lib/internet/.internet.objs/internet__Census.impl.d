@@ -1,0 +1,1 @@
+lib/internet/census.ml: Cca Hashtbl List Nebby Netsim Option Region Website

@@ -1,0 +1,1 @@
+lib/internet/census.mli: Nebby Netsim Region Website

@@ -1,0 +1,1 @@
+lib/internet/census_history.mli:

@@ -1,0 +1,1 @@
+lib/internet/heavy_hitters.ml: List Region Website

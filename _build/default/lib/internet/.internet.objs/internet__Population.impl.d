@@ -1,0 +1,1 @@
+lib/internet/population.ml: List Netsim Printf Region Website

@@ -1,0 +1,1 @@
+lib/internet/population.mli: Website

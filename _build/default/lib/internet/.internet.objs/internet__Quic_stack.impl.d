@@ -1,0 +1,1 @@
+lib/internet/quic_stack.ml: Cca Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/internet/region.ml: Netsim

@@ -1,0 +1,1 @@
+lib/internet/region.mli: Netsim

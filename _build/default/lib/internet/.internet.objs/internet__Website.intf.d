@@ -1,0 +1,1 @@
+lib/internet/website.mli: Region

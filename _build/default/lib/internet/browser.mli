@@ -1,0 +1,47 @@
+(** Browser (Selenium-style) measurements: streaming sessions that open
+    multiple concurrent connections (paper §3.5, §4.5).
+
+    In per-flow mode — the paper's modified Nebby — every connection gets
+    its own bottleneck queue so each flow is classified separately and
+    correlated with the asset it carries (video vs static, via the HAR
+    file). In shared mode the flows contend on one bottleneck, which is the
+    setup behind the paper's CUBIC-vs-BBR interaction observation on
+    appletv.com. *)
+
+type asset = Video | Static
+
+type flow_report = {
+  asset : asset;
+  truth : string;  (** ground-truth CCA serving this asset *)
+  label : string;  (** Nebby's classification *)
+}
+
+val measure_service :
+  ?flows_per_kind:int ->
+  control:Nebby.Training.control ->
+  seed:int ->
+  Heavy_hitters.service ->
+  flow_report list
+(** Per-flow-bottleneck classification of a streaming session's video and
+    static flows (default 1 of each kind, video pages are large, static
+    pages small). BBR-like-unknown labels are reported as ["bbr3"]. *)
+
+type contention = {
+  flow_a : string;
+  flow_b : string;
+  throughput_a : float;  (** bytes/s over the contention window *)
+  throughput_b : float;
+  fair_share : float;  (** half the bottleneck rate *)
+}
+
+val shared_bottleneck :
+  ?duration:float ->
+  profile:Nebby.Profile.t ->
+  seed:int ->
+  cca_a:string ->
+  cca_b:string ->
+  unit ->
+  contention
+(** Run two flows through one bottleneck (Nebby's default single-queue
+    setting) and report each flow's goodput — the §4.5 inter-flow
+    interaction experiment. *)

@@ -1,0 +1,47 @@
+let site_seed (site : Website.t) region proto =
+  (site.Website.rank * 31)
+  + (Region.index region * 7919)
+  + (match proto with Netsim.Packet.Tcp -> 0 | Netsim.Packet.Quic -> 104729)
+
+let measure_site ~control ~proto ~region (site : Website.t) =
+  match proto with
+  | Netsim.Packet.Quic when not site.Website.quic -> "unresponsive"
+  | _ ->
+    let cca_name =
+      match proto with
+      | Netsim.Packet.Quic -> Option.value ~default:"cubic" site.Website.quic_cca
+      | Netsim.Packet.Tcp -> Website.cca_in site region
+    in
+    let noise = Netsim.Path.scale (Region.noise region) site.Website.noise_factor in
+    let report =
+      Nebby.Measurement.measure ~control ~noise ~proto
+        ~page_bytes:site.Website.page_bytes ~seed:(site_seed site region proto)
+        ~make_cca:(Cca.Registry.create cca_name) ()
+    in
+    (* Appendix E: a rate-based sender that is BBR-like but neither v1 nor
+       v2 is inferred to be BBRv3 *)
+    if report.Nebby.Measurement.label = Nebby.Bbr_classifier.label_unknown_bbr then "bbr3"
+    else report.Nebby.Measurement.label
+
+let run ?sites ~control ~proto ~region websites =
+  let selected =
+    match sites with
+    | None -> websites
+    | Some n -> List.filteri (fun i _ -> i < n) websites
+  in
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun site ->
+      let label = measure_site ~control ~proto ~region site in
+      Hashtbl.replace tally label (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
+    selected;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let scale_to ~total tally =
+  let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+  if sum = 0 then tally
+  else
+    List.map
+      (fun (k, n) -> (k, int_of_float (float_of_int n *. float_of_int total /. float_of_int sum)))
+      tally

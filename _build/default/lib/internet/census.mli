@@ -1,0 +1,27 @@
+(** Running Nebby over the website population — the machinery behind the
+    paper's §4.2 (TCP, Table 4) and §4.4 (QUIC, Table 6) census results. *)
+
+val measure_site :
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t ->
+  string
+(** Classify one website from one vantage point. Returns the registry name,
+    ["bbr3"] for a BBR-like unknown (the paper's Appendix-E inference for
+    Google's pre-release deployment), ["unknown"], or ["unresponsive"]
+    (QUIC request to a non-QUIC site). *)
+
+val run :
+  ?sites:int ->
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t list ->
+  (string * int) list
+(** Tally of classifications over the first [sites] websites (default all),
+    sorted by descending count. *)
+
+val scale_to : total:int -> (string * int) list -> (string * int) list
+(** Rescale a sampled tally so the counts sum to [total] (for comparing a
+    sampled census against the paper's 20,000-site rows). *)

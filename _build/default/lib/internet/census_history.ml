@@ -1,0 +1,84 @@
+type snapshot = {
+  study : string;
+  year : int;
+  total_hosts : int;
+  shares : (string * float) list;
+}
+
+let classes =
+  [ "New Reno"; "Reno"; "Tahoe"; "CUBIC"; "BIC"; "HSTCP"; "Scalable"; "Vegas"; "Westwood";
+    "CTCP/Illinois"; "Veno"; "YeAH"; "HTCP"; "BBRv1"; "BBRv2"; "BBRv3"; "AkamaiCC";
+    "Unclassified" ]
+
+let historical =
+  [
+    {
+      study = "TBIT [54]";
+      year = 2001;
+      total_hosts = 4_550;
+      shares = [ ("New Reno", 35.0); ("Reno", 21.0); ("Tahoe", 26.0); ("Unclassified", 17.3) ];
+    };
+    {
+      study = "Jaiswal et al. [41]";
+      year = 2004;
+      total_hosts = 84_394;
+      shares = [ ("New Reno", 25.0); ("Reno", 5.0); ("Tahoe", 3.0); ("Unclassified", 53.0) ];
+    };
+    {
+      study = "CAAI [63]";
+      year = 2011;
+      total_hosts = 5_000;
+      shares =
+        [ ("New Reno", 12.5); ("CUBIC", 22.3); ("BIC", 10.6); ("HSTCP", 7.4);
+          ("Scalable", 1.4); ("Vegas", 1.2); ("Westwood", 2.0); ("CTCP/Illinois", 7.3);
+          ("Veno", 0.9); ("YeAH", 1.4); ("HTCP", 0.4); ("Unclassified", 4.0) ];
+    };
+    {
+      study = "Gordon [50]";
+      year = 2019;
+      total_hosts = 10_000;
+      shares =
+        [ ("New Reno", 0.8); ("CUBIC", 30.7); ("BIC", 0.9); ("Scalable", 0.2);
+          ("Vegas", 2.8); ("CTCP/Illinois", 5.7); ("YeAH", 5.8); ("HTCP", 2.8);
+          ("BBRv1", 17.8); ("AkamaiCC", 5.5); ("Unclassified", 12.2) ];
+    };
+  ]
+
+let class_of_label = function
+  | "newreno" -> "New Reno"
+  | "cubic" -> "CUBIC"
+  | "bic" -> "BIC"
+  | "hstcp" -> "HSTCP"
+  | "scalable" -> "Scalable"
+  | "vegas" -> "Vegas"
+  | "westwood" -> "Westwood"
+  | "illinois" -> "CTCP/Illinois"
+  | "veno" -> "Veno"
+  | "yeah" -> "YeAH"
+  | "htcp" -> "HTCP"
+  | "bbr" -> "BBRv1"
+  | "bbr2" -> "BBRv2"
+  | "bbr3" | "bbr_unknown" -> "BBRv3"
+  | "akamai_cc" -> "AkamaiCC"
+  | "unknown" | "unresponsive" -> "Unclassified"
+  | "copa" | "vivace" -> "Unclassified"
+  | other -> other
+
+let snapshot_of_census ~total_hosts tally =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (label, n) ->
+      let cls = class_of_label label in
+      Hashtbl.replace counts cls (n + Option.value ~default:0 (Hashtbl.find_opt counts cls)))
+    tally;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+  let shares =
+    List.filter_map
+      (fun cls ->
+        match Hashtbl.find_opt counts cls with
+        | Some n when total > 0 ->
+          Some (cls, 100.0 *. float_of_int n /. float_of_int total)
+        | Some _ | None -> None)
+      classes
+  in
+  { study = "Nebby (this repo)"; year = 2023; total_hosts; shares }

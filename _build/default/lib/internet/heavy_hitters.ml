@@ -1,0 +1,97 @@
+type entry = {
+  site : string;
+  traffic_share : float;
+  cca : string;
+  regional_override : (Region.t * string) list;
+}
+
+let table5 =
+  [
+    { site = "google domains"; traffic_share = 13.85; cca = "bbr3"; regional_override = [] };
+    { site = "netflix.com"; traffic_share = 13.74; cca = "newreno"; regional_override = [] };
+    { site = "facebook.com"; traffic_share = 6.45; cca = "cubic"; regional_override = [] };
+    { site = "apple.com"; traffic_share = 4.59; cca = "akamai_cc"; regional_override = [] };
+    { site = "disneyplus.com"; traffic_share = 4.49; cca = "cubic"; regional_override = [] };
+    {
+      site = "amazon.com";
+      traffic_share = 4.24;
+      cca = "bbr";
+      regional_override = [ (Region.Mumbai, "cubic") ];
+    };
+    { site = "tiktok.com"; traffic_share = 3.93; cca = "akamai_cc"; regional_override = [] };
+    { site = "primevideo.com"; traffic_share = 2.67; cca = "bbr2"; regional_override = [] };
+    { site = "hulu.com"; traffic_share = 2.44; cca = "akamai_cc"; regional_override = [] };
+  ]
+
+type service = {
+  service : string;
+  region_of_popularity : string;
+  activity : string;
+  connections : int;
+  max_concurrent : int;
+  video_cca : string;
+  static_cca : string;
+}
+
+let table8 =
+  [
+    { service = "Netflix"; region_of_popularity = "Global"; activity = "VOD"; connections = 28;
+      max_concurrent = 5; video_cca = "newreno"; static_cca = "cubic" };
+    { service = "Primevideo"; region_of_popularity = "Global"; activity = "VOD"; connections = 12;
+      max_concurrent = 6; video_cca = "bbr"; static_cca = "bbr" };
+    { service = "AppleTV"; region_of_popularity = "Global"; activity = "VOD"; connections = 16;
+      max_concurrent = 6; video_cca = "bbr"; static_cca = "cubic" };
+    { service = "Disney+"; region_of_popularity = "Global"; activity = "VOD"; connections = 20;
+      max_concurrent = 6; video_cca = "cubic"; static_cca = "cubic" };
+    { service = "HBO"; region_of_popularity = "Global"; activity = "VOD"; connections = 10;
+      max_concurrent = 4; video_cca = "bbr"; static_cca = "cubic" };
+    { service = "Tiktok"; region_of_popularity = "Global"; activity = "VOD"; connections = 21;
+      max_concurrent = 4; video_cca = "akamai_cc"; static_cca = "cubic" };
+    { service = "YouTube"; region_of_popularity = "Global"; activity = "VOD, live video";
+      connections = 81; max_concurrent = 6; video_cca = "bbr3"; static_cca = "bbr3" };
+    { service = "Twitch"; region_of_popularity = "Global"; activity = "VOD, live video";
+      connections = 118; max_concurrent = 6; video_cca = "bbr"; static_cca = "cubic" };
+    { service = "Spotify"; region_of_popularity = "Global"; activity = "VOD, streaming audio";
+      connections = 8; max_concurrent = 5; video_cca = "bbr"; static_cca = "bbr" };
+    { service = "Apple Music"; region_of_popularity = "Global"; activity = "streaming audio";
+      connections = 16; max_concurrent = 6; video_cca = "bbr"; static_cca = "akamai_cc" };
+    { service = "Zoom"; region_of_popularity = "Global"; activity = "video call";
+      connections = 39; max_concurrent = 6; video_cca = "bbr"; static_cca = "cubic" };
+    { service = "Meet"; region_of_popularity = "Global"; activity = "video call";
+      connections = 60; max_concurrent = 5; video_cca = "bbr3"; static_cca = "bbr" };
+    { service = "Hulu"; region_of_popularity = "US"; activity = "VOD"; connections = 41;
+      max_concurrent = 6; video_cca = "akamai_cc"; static_cca = "akamai_cc" };
+    { service = "Douyin"; region_of_popularity = "China"; activity = "VOD"; connections = 5;
+      max_concurrent = 6; video_cca = "bbr"; static_cca = "bbr" };
+    { service = "Bilibili"; region_of_popularity = "China"; activity = "VOD"; connections = 10;
+      max_concurrent = 3; video_cca = "bbr"; static_cca = "bbr" };
+    { service = "Hotstar"; region_of_popularity = "India"; activity = "VOD"; connections = 12;
+      max_concurrent = 5; video_cca = "bbr"; static_cca = "bbr" };
+    { service = "Jiocinema"; region_of_popularity = "India"; activity = "VOD"; connections = 12;
+      max_concurrent = 6; video_cca = "cubic"; static_cca = "cubic" };
+  ]
+
+let website_of_entry ~rank entry =
+  let deployments =
+    List.map
+      (fun r ->
+        match List.assoc_opt r entry.regional_override with
+        | Some cca -> (r, cca)
+        | None -> (r, entry.cca))
+      Region.all
+  in
+  {
+    Website.rank;
+    name = entry.site;
+    cdn = (if entry.cca = "akamai_cc" then Website.Akamai else Website.Self_hosted);
+    page_bytes = 800_000;
+    deployments;
+    quic = List.mem entry.site [ "google domains"; "facebook.com" ];
+    quic_cca =
+      (match entry.site with
+      | "google domains" -> Some "bbr"
+      | "facebook.com" -> Some "cubic"
+      | _ -> None);
+    noise_factor = 0.8;
+    ddos_sensitivity = 0.99;
+  }

@@ -1,0 +1,28 @@
+(** The paper's named findings about specific, high-traffic websites:
+    Table 5 (CCAs of the most popular websites by traffic share) and
+    Table 8 (CCAs serving streaming services through a browser). *)
+
+type entry = {
+  site : string;
+  traffic_share : float;  (** percent, Sandvine 2022, Table 5 *)
+  cca : string;  (** registry name of the deployed CCA *)
+  regional_override : (Region.t * string) list;
+      (** e.g. amazon.com serves CUBIC towards Mumbai (Fig. 8) *)
+}
+
+val table5 : entry list
+
+type service = {
+  service : string;
+  region_of_popularity : string;
+  activity : string;
+  connections : int;  (** observed connections over a session *)
+  max_concurrent : int;
+  video_cca : string;  (** CCA serving audio/video assets *)
+  static_cca : string;  (** CCA serving static assets *)
+}
+
+val table8 : service list
+
+val website_of_entry : rank:int -> entry -> Website.t
+(** Materialize a Table-5 site as a population website. *)

@@ -1,0 +1,99 @@
+let quic_responder_share = 0.089
+
+(* Ground-truth deployment weights, seeded from Table 4 (Ohio column) with
+   the AkamaiCC share of §4.3 carved out of the paper's Unknown mass. *)
+let base_weights =
+  [
+    ("cubic", 41.0);
+    ("bbr", 13.0);
+    ("bbr2", 2.6);
+    ("newreno", 9.2);
+    ("bic", 3.5);
+    ("htcp", 2.9);
+    ("illinois", 3.6);
+    ("vegas", 4.4);
+    ("veno", 0.6);
+    ("westwood", 1.0);
+    ("scalable", 0.1);
+    ("yeah", 0.6);
+    ("akamai_cc", 7.0);
+  ]
+
+let draw_weighted rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weights in
+  let x = Netsim.Rng.uniform rng 0.0 total in
+  let rec pick acc = function
+    | [ (name, _) ] -> name
+    | (name, w) :: rest -> if x < acc +. w then name else pick (acc +. w) rest
+    | [] -> "cubic"
+  in
+  pick 0.0 weights
+
+let generate ?(n = 20_000) ~seed () =
+  let rng = Netsim.Rng.create seed in
+  let make rank =
+    let cca = draw_weighted rng base_weights in
+    let cdn =
+      if cca = "akamai_cc" then Website.Akamai
+      else if Netsim.Rng.bool rng 0.18 then Website.Cloudflare
+      else if Netsim.Rng.bool rng 0.25 then Website.Other_cdn
+      else Website.Self_hosted
+    in
+    (* regional deployment differences (§4.2 finding 1): 13.6% of sites *)
+    let deployments =
+      let uniform = List.map (fun r -> (r, cca)) Region.all in
+      if (cca = "bbr" || cca = "bbr2") && Netsim.Rng.bool rng 0.5 then
+        (* the amazon.com pattern: CUBIC towards Mumbai and/or Sao Paulo *)
+        List.map
+          (fun (r, c) ->
+            match r with
+            | Region.Mumbai -> (r, "cubic")
+            | Region.Sao_paulo -> (r, if Netsim.Rng.bool rng 0.7 then "cubic" else c)
+            | Region.Ohio | Region.Paris | Region.Singapore -> (r, c))
+          uniform
+      else if Netsim.Rng.bool rng 0.066 then begin
+        (* one region served by a different variant entirely *)
+        let odd = List.nth Region.all (Netsim.Rng.int rng 5) in
+        let other = draw_weighted rng base_weights in
+        List.map (fun (r, c) -> if r = odd then (r, other) else (r, c)) uniform
+      end
+      else uniform
+    in
+    (* QUIC support concentrates on Cloudflare and big self-hosted sites *)
+    let quic_prob =
+      match cdn with
+      | Website.Cloudflare -> 0.35
+      | Website.Self_hosted -> 0.06
+      | Website.Akamai -> 0.02
+      | Website.Other_cdn -> 0.04
+    in
+    let quic = Netsim.Rng.bool rng quic_prob in
+    let quic_cca =
+      if not quic then None
+      else
+        (* QUIC stacks only ship CUBIC, BBR, and Reno; sites keep the CCA
+           they deploy over TCP when it exists in their stack (§4.4) *)
+        match cca with
+        | "cubic" | "bbr" | "newreno" -> Some cca
+        | "bbr2" -> Some "bbr"
+        | _ -> Some (if Netsim.Rng.bool rng 0.5 then "cubic" else "newreno")
+    in
+    let noise_factor =
+      (* a heavy tail of badly-connected sites feeds the Unknown rows
+         (the paper's Unknown share runs 17-38 % depending on the region) *)
+      if Netsim.Rng.bool rng 0.22 then Netsim.Rng.uniform rng 8.0 20.0
+      else Netsim.Rng.uniform rng 0.5 1.5
+    in
+    {
+      Website.rank;
+      name = Printf.sprintf "site-%05d.example" rank;
+      cdn;
+      page_bytes = 400_000 + Netsim.Rng.int rng 800_000;
+      deployments;
+      quic;
+      quic_cca;
+      noise_factor;
+      ddos_sensitivity = Netsim.Rng.uniform rng 0.75 0.99;
+    }
+  in
+  List.init n (fun i -> make (i + 1))

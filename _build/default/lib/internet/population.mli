@@ -1,0 +1,19 @@
+(** Synthetic Alexa-Top-20k population with ground-truth CCA deployments.
+
+    The ground-truth shares are seeded from the paper's findings (§4.2,
+    Table 4): CUBIC dominates, BBRv1 holds ~10-13% with regional gaps,
+    ~7% of sites serve the undocumented AkamaiCC, 13.6% of sites deploy
+    different CCAs in different regions (half of those run CUBIC in Mumbai
+    and/or Sao Paulo while running BBR elsewhere — amazon.com's pattern),
+    and ~9% respond to QUIC (§4.4), mostly Cloudflare-hosted or Meta
+    domains, serving the same CCA they serve over TCP. *)
+
+val base_weights : (string * float) list
+(** Ground-truth deployment weights over registry CCA names. *)
+
+val generate : ?n:int -> seed:int -> unit -> Website.t list
+(** [generate ~n ~seed ()] builds a deterministic population of [n]
+    (default 20,000) websites, heavy hitters first. *)
+
+val quic_responder_share : float
+(** ~0.089, §4.4. *)

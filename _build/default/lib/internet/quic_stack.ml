@@ -1,0 +1,97 @@
+type impl = {
+  organization : string;
+  stack : string;
+  cca : string;
+  conformance : float;
+  make : Cca.params -> Cca.t;
+}
+
+(* Deterministic per-implementation perturbation signs, so each stack has
+   its own flavour of deviation. *)
+let signed stack i =
+  let h = Hashtbl.hash (stack, i) in
+  if h land 1 = 0 then 1.0 else -1.0
+
+(* Deviation grows superlinearly as conformance falls: mildly
+   non-conformant stacks are near-kernel, the worst ones are far off. *)
+let deviation conformance =
+  let d = 1.0 -. conformance in
+  d *. d
+
+let make_cubic stack conformance params =
+  let d = deviation conformance in
+  let beta = Float.max 0.5 (Float.min 0.85 (0.7 +. (signed stack 0 *. 0.2 *. d))) in
+  let c = Float.max 0.15 (0.4 *. (1.0 +. (signed stack 1 *. 0.7 *. d))) in
+  Cca.Cubic.create_custom ~beta ~c params
+
+let make_reno stack conformance params =
+  let d = deviation conformance in
+  let increment = Float.max 0.6 (1.0 +. (signed stack 0 *. 0.6 *. d)) in
+  let beta = Float.max 0.35 (Float.min 0.7 (0.5 +. (signed stack 1 *. 0.2 *. d))) in
+  Cca.Newreno.create_custom ~increment ~beta params
+
+let make_bbr _stack conformance params =
+  let d = deviation conformance in
+  let pacing_gain_up = 1.25 +. (0.4 *. d) in
+  Cca.Bbr.create ~pacing_gain_up Cca.Bbr.V1 params
+
+let cubic_impls =
+  [
+    ("Alibaba", "xquic", 0.55);
+    ("AWS", "s2n-quic", 0.76);
+    ("Cloudflare", "quiche", 0.08);
+    ("Go", "quicgo", 0.87);
+    ("Google", "chromium", 0.6);
+    ("H2O", "quicly", 0.68);
+    ("LiteSpeed", "lsquic", 0.95);
+    ("Meta", "mvfst", 0.9);
+    ("Microsoft", "msquic", 0.7);
+    ("Mozilla", "neqo", 0.0);
+    ("Rust", "quinn", 0.7);
+  ]
+
+let bbr_impls =
+  [ ("Alibaba", "xquic", 0.15); ("Google", "chromium", 0.7); ("LiteSpeed", "lsquic", 0.59);
+    ("Meta", "mvfst", 0.0) ]
+
+let reno_impls =
+  [
+    ("Alibaba", "xquic", 0.38);
+    ("Cloudflare", "quiche", 0.8);
+    ("Go", "quicgo", 0.92);
+    ("H2O", "quicly", 0.8);
+    ("Meta", "mvfst", 0.94);
+    ("Mozilla", "neqo", 0.62);
+    ("Rust", "quinn", 0.96);
+  ]
+
+let all =
+  List.map
+    (fun (organization, stack, conformance) ->
+      { organization; stack; cca = "cubic"; conformance; make = make_cubic stack conformance })
+    cubic_impls
+  @ List.map
+      (fun (organization, stack, conformance) ->
+        { organization; stack; cca = "bbr"; conformance; make = make_bbr stack conformance })
+      bbr_impls
+  @ List.map
+      (fun (organization, stack, conformance) ->
+        { organization; stack; cca = "newreno"; conformance; make = make_reno stack conformance })
+      reno_impls
+
+let stacks =
+  [
+    ("Alibaba", "xquic", true, true, true);
+    ("Amazon Web Services", "s2n-quic", true, false, false);
+    ("Cloudflare", "quiche", true, false, true);
+    ("Go", "quicgo", true, false, true);
+    ("Google", "chromium", true, true, false);
+    ("H2O", "quicly", true, false, true);
+    ("LiteSpeed", "lsquic", true, true, false);
+    ("Meta", "mvfst", true, true, true);
+    ("Microsoft", "msquic", true, false, false);
+    ("Mozilla", "neqo", true, false, true);
+    ("Rust", "quinn", true, false, true);
+  ]
+
+let find ~stack ~cca = List.find_opt (fun i -> i.stack = stack && i.cca = cca) all

@@ -1,0 +1,25 @@
+(** The 11 open-source QUIC stacks the paper benchmarks (Table 10) and
+    their 22 CCA implementations (Table 7).
+
+    Non-conformance is modeled as a deterministic perturbation of the
+    reference algorithm's constants, scaled by (1 - conformance), where the
+    conformance scores are the ones the paper carries over from its earlier
+    study [47]. A conformant implementation (mvfst CUBIC, 0.9) is nearly
+    the kernel algorithm; a non-conformant one (neqo CUBIC, 0.0) deviates
+    substantially — and, as the paper finds, is harder to classify. *)
+
+type impl = {
+  organization : string;
+  stack : string;
+  cca : string;  (** "cubic", "newreno", or "bbr" *)
+  conformance : float;  (** [0, 1] from the paper's Table 7 *)
+  make : Cca.params -> Cca.t;
+}
+
+val all : impl list
+(** All 22 implementations, CUBIC then BBR then Reno, as in Table 7. *)
+
+val stacks : (string * string * bool * bool * bool) list
+(** Table 10: (organization, stack, has cubic, has bbr, has reno). *)
+
+val find : stack:string -> cca:string -> impl option

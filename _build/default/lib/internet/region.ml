@@ -1,0 +1,19 @@
+type t = Ohio | Paris | Mumbai | Singapore | Sao_paulo
+
+let all = [ Ohio; Paris; Mumbai; Singapore; Sao_paulo ]
+
+let name = function
+  | Ohio -> "Ohio"
+  | Paris -> "Paris"
+  | Mumbai -> "Mumbai"
+  | Singapore -> "Singapore"
+  | Sao_paulo -> "Sao Paulo"
+
+let index = function Ohio -> 0 | Paris -> 1 | Mumbai -> 2 | Singapore -> 3 | Sao_paulo -> 4
+
+let noise = function
+  | Ohio -> Netsim.Path.mild
+  | Paris -> Netsim.Path.scale Netsim.Path.mild 1.3
+  | Singapore -> Netsim.Path.scale Netsim.Path.mild 1.2
+  | Mumbai -> Netsim.Path.scale Netsim.Path.mild 1.6
+  | Sao_paulo -> Netsim.Path.scale Netsim.Path.mild 2.2

@@ -1,0 +1,13 @@
+(** The paper's five measurement vantage points (AWS regions). A region
+    determines the wide-area noise a measurement experiences and seeds the
+    regional deployment differences of §4.2. *)
+
+type t = Ohio | Paris | Mumbai | Singapore | Sao_paulo
+
+val all : t list
+val name : t -> string
+val index : t -> int
+
+val noise : t -> Netsim.Path.noise
+(** Wide-area noise towards this region; Sao Paulo and Mumbai are the
+    noisiest paths in the paper's data (largest Unknown shares, Table 4). *)

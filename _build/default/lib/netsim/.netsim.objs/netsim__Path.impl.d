@@ -1,0 +1,1 @@
+lib/netsim/path.ml: Float Packet Rng Sim

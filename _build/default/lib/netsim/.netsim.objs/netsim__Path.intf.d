@@ -1,0 +1,1 @@
+lib/netsim/path.mli: Packet Rng Sim

@@ -1,0 +1,70 @@
+type 'a entry = { time : float; order : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_order : int;
+}
+
+let create () = { heap = [||]; size = 0; next_order = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.order < b.order)
+
+let ensure_capacity t =
+  if t.size >= Array.length t.heap then begin
+    let dummy = t.heap.(0) in
+    let grown = Array.make (max 16 (2 * Array.length t.heap)) dummy in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier heap.(i) heap.(parent) then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(parent);
+      heap.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < size && earlier heap.(l) heap.(i) then l else i in
+  let smallest = if r < size && earlier heap.(r) heap.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(smallest);
+    heap.(smallest) <- tmp;
+    sift_down heap size smallest
+  end
+
+let push t ~time value =
+  let entry = { time; order = t.next_order; value } in
+  t.next_order <- t.next_order + 1;
+  if Array.length t.heap = 0 then begin
+    t.heap <- Array.make 16 entry;
+    t.size <- 1
+  end else begin
+    ensure_capacity t;
+    t.heap.(t.size) <- entry;
+    t.size <- t.size + 1;
+    sift_up t.heap (t.size - 1)
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t.heap t.size 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

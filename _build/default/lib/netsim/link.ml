@@ -1,0 +1,55 @@
+type t = {
+  sim : Sim.t;
+  rate : float;
+  buffer_bytes : int;
+  extra_delay : float;
+  sink : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable drops : int;
+  mutable delivered : int;
+}
+
+let create sim ~rate ~buffer_bytes ?(extra_delay = 0.0) ~sink () =
+  assert (rate > 0.0);
+  {
+    sim;
+    rate;
+    buffer_bytes;
+    extra_delay;
+    sink;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    drops = 0;
+    delivered = 0;
+  }
+
+(* Serve the head-of-line packet: hold it for its serialization time, then
+   deliver it after the propagation of the extra delay box. *)
+let rec serve t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
+    let tx_time = float_of_int pkt.Packet.size /. t.rate in
+    Sim.after t.sim tx_time (fun () ->
+        t.delivered <- t.delivered + 1;
+        if t.extra_delay > 0.0 then Sim.after t.sim t.extra_delay (fun () -> t.sink pkt)
+        else t.sink pkt;
+        serve t)
+
+let send t pkt =
+  if t.queued_bytes + pkt.Packet.size > t.buffer_bytes && t.busy then
+    t.drops <- t.drops + 1
+  else begin
+    Queue.add pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    if not t.busy then serve t
+  end
+
+let queue_bytes t = t.queued_bytes
+let drops t = t.drops
+let delivered t = t.delivered

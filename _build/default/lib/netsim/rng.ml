@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t =
+  let seed = next_raw t in
+  { state = seed }
+
+let float t =
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_raw t) 1) (Int64.of_int n))
+
+let bool t p = float t < p
+
+let gaussian t ~mean ~std =
+  let rec nonzero () =
+    let u = float t in
+    if u <= 1e-12 then nonzero () else u
+  in
+  let u1 = nonzero () in
+  let u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (std *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  let rec nonzero () =
+    let u = float t in
+    if u <= 1e-12 then nonzero () else u
+  in
+  -.log (nonzero ()) /. rate

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that whole experiments are reproducible from a single seed.
+    [split] derives an independent stream, which lets concurrent components
+    consume randomness without perturbing each other. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. [n] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Normal deviate via the Box-Muller transform. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate. *)

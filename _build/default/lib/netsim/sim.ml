@@ -1,0 +1,33 @@
+type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+
+let create () = { clock = 0.0; queue = Event_queue.create () }
+let now t = t.clock
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: scheduling at %.9f before current time %.9f" time t.clock);
+  Event_queue.push t.queue ~time f
+
+let after t delay f = at t (t.clock +. delay) f
+
+let run ?until t =
+  let horizon = match until with None -> infinity | Some h -> h in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > horizon -> ()
+    | Some _ ->
+      (match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (time, f) ->
+        t.clock <- time;
+        f ();
+        loop ())
+  in
+  loop ();
+  (match until with
+  | Some h when t.clock < h -> t.clock <- h
+  | Some _ | None -> ())
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,30 @@
+type view =
+  | Tcp_view of { seq : int; payload : int; ack : int; is_ack : bool }
+  | Opaque
+
+type obs = { time : float; dir : Packet.dir; size : int; view : view }
+
+type t = { mutable rev_obs : obs list; mutable count : int }
+
+let create () = { rev_obs = []; count = 0 }
+
+let view_of_packet (pkt : Packet.t) =
+  match pkt.proto with
+  | Packet.Quic -> Opaque
+  | Packet.Tcp ->
+    Tcp_view { seq = pkt.seq; payload = pkt.payload; ack = pkt.ack; is_ack = pkt.is_ack }
+
+let record t ~now pkt =
+  let obs = { time = now; dir = pkt.Packet.dir; size = pkt.Packet.size; view = view_of_packet pkt } in
+  t.rev_obs <- obs :: t.rev_obs;
+  t.count <- t.count + 1
+
+let observations t = List.rev t.rev_obs
+let length t = t.count
+
+let duration t =
+  match t.rev_obs with
+  | [] | [ _ ] -> 0.0
+  | last :: rest ->
+    let rec first = function [ x ] -> x | _ :: tl -> first tl | [] -> last in
+    last.time -. (first rest).time

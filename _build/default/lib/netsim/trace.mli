@@ -1,0 +1,24 @@
+(** Packet trace recorded at the capture point.
+
+    An observation is what a passive tap can legally see. For TCP the
+    sequence and acknowledgement numbers are visible; for QUIC the payload
+    is encrypted and only the direction and size remain (paper §3.2). *)
+
+type view =
+  | Tcp_view of { seq : int; payload : int; ack : int; is_ack : bool }
+  | Opaque  (** encrypted transport: QUIC *)
+
+type obs = { time : float; dir : Packet.dir; size : int; view : view }
+
+type t
+
+val create : unit -> t
+val record : t -> now:float -> Packet.t -> unit
+(** Append the capture-point view of a packet. *)
+
+val observations : t -> obs list
+(** Observations in capture order. *)
+
+val length : t -> int
+val duration : t -> float
+(** Time of last observation minus time of first (0 if fewer than 2). *)

@@ -1,0 +1,1 @@
+lib/sigproc/gnb.ml: Array Float List

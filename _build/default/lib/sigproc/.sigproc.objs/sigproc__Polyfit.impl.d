@@ -1,0 +1,1 @@
+lib/sigproc/polyfit.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sigproc/series.ml: Array Float List

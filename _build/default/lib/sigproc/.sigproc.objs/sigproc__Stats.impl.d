@@ -1,0 +1,1 @@
+lib/sigproc/stats.ml: Array Float

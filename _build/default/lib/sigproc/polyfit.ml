@@ -1,0 +1,72 @@
+let eval coeffs x =
+  let rec horner i acc = if i < 0 then acc else horner (i - 1) ((acc *. x) +. coeffs.(i)) in
+  horner (Array.length coeffs - 1) 0.0
+
+let solve a b =
+  (* in-place Gaussian elimination with partial pivoting *)
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let diag = a.(col).(col) in
+    if Float.abs diag > 1e-12 then
+      for row = col + 1 to n - 1 do
+        let factor = a.(row).(col) /. diag in
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- (if Float.abs a.(row).(row) > 1e-12 then !s /. a.(row).(row) else 0.0)
+  done;
+  x
+
+let fit ~degree ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 || Array.length ys <> n then invalid_arg "Polyfit.fit";
+  let m = degree + 1 in
+  (* normal equations: (V^T V) c = V^T y, with V the Vandermonde matrix *)
+  let ata = Array.make_matrix m m 0.0 in
+  let atb = Array.make m 0.0 in
+  for p = 0 to n - 1 do
+    let powers = Array.make (2 * m) 1.0 in
+    for k = 1 to (2 * m) - 1 do
+      powers.(k) <- powers.(k - 1) *. xs.(p)
+    done;
+    for i = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        ata.(i).(j) <- ata.(i).(j) +. powers.(i + j)
+      done;
+      atb.(i) <- atb.(i) +. (powers.(i) *. ys.(p))
+    done
+  done;
+  solve ata atb
+
+let mse ~coeffs ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let e = eval coeffs xs.(i) -. ys.(i) in
+      acc := !acc +. (e *. e)
+    done;
+    !acc /. float_of_int n
+  end

@@ -1,0 +1,15 @@
+(** Least-squares polynomial fitting (the role numpy's [polyfit] plays in
+    the paper, §3.4 step 3). *)
+
+val fit : degree:int -> xs:float array -> ys:float array -> float array
+(** [fit ~degree ~xs ~ys] returns coefficients [c] with [c.(i)] multiplying
+    [x^i], length [degree + 1], minimizing squared error. Solved by normal
+    equations with partial-pivot Gaussian elimination, fine for the small
+    degrees (<= 3) used here.
+    @raise Invalid_argument on empty input or mismatched lengths. *)
+
+val eval : float array -> float -> float
+(** Evaluate a coefficient vector (Horner). *)
+
+val mse : coeffs:float array -> xs:float array -> ys:float array -> float
+(** Mean squared error of the fit over the points. *)

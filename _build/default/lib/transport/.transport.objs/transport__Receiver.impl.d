@@ -1,0 +1,1 @@
+lib/transport/receiver.ml: Int Map Netsim

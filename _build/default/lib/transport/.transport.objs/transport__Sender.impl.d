@@ -1,0 +1,1 @@
+lib/transport/sender.ml: Cca Float Hashtbl List Netsim

@@ -1,0 +1,1 @@
+lib/transport/sender.mli: Cca Netsim

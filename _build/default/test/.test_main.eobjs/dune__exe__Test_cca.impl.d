@@ -1,0 +1,1 @@
+test/test_cca.ml: Alcotest Cca Float List Printf

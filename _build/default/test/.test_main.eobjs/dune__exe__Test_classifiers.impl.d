@@ -1,0 +1,1 @@
+test/test_classifiers.ml: Alcotest Array Float List Nebby Netsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_internet.ml: Alcotest Internet Lazy List Nebby Netsim Printf

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Cca Float Format List Nebby Netsim Option Printf Sigproc String

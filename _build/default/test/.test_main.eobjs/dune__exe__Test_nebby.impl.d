@@ -1,0 +1,1 @@
+test/test_nebby.ml: Alcotest Array Cca Float Lazy List Nebby Netsim Printf Sigproc String

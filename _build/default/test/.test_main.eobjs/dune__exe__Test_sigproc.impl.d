@@ -1,0 +1,1 @@
+test/test_sigproc.ml: Alcotest Array Float List Netsim QCheck QCheck_alcotest Sigproc

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Cca List Nebby Netsim Transport

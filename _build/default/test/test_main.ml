@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "nebby"
+    [
+      ("netsim", Test_netsim.suite);
+      ("sigproc", Test_sigproc.suite);
+      ("cca", Test_cca.suite);
+      ("transport", Test_transport.suite);
+      ("nebby", Test_nebby.suite);
+      ("classifiers", Test_classifiers.suite);
+      ("internet", Test_internet.suite);
+      ("baselines", Test_baselines.suite);
+      ("more", Test_more.suite);
+    ]

@@ -1,0 +1,1 @@
+tools/accuracy_eval.ml: Array Cca Hashtbl List Nebby Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+tools/accuracy_eval.mli:

@@ -1,0 +1,1 @@
+tools/cluster_inspect.ml: Array List Nebby Netsim Option Printf Sys

@@ -1,0 +1,1 @@
+tools/cluster_inspect.mli:

@@ -1,0 +1,1 @@
+tools/trace_plot.ml: Array Float List Nebby Netsim Printf String Sys

@@ -1,0 +1,1 @@
+tools/trace_plot.mli:

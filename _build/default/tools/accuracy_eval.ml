@@ -1,0 +1,34 @@
+(* Train and evaluate classification accuracy per CCA — a fast version of
+   the Table 3 experiment for iterating on the classifier.
+
+   dune exec tools/accuracy_eval.exe -- [trials] [training_runs] *)
+
+let () =
+  let trials = try int_of_string Sys.argv.(1) with _ -> 8 in
+  let runs = try int_of_string Sys.argv.(2) with _ -> 12 in
+  let t0 = Unix.gettimeofday () in
+  let control = Nebby.Training.train ~runs_per_cca:runs () in
+  Printf.printf "trained in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  let plugins = Nebby.Classifier.extended_plugins control in
+  let ccas = Cca.Registry.kernel_ccas @ [ "bbr2" ] in
+  let correct_total = ref 0 and n_total = ref 0 in
+  List.iter
+    (fun name ->
+      let tally = Hashtbl.create 8 in
+      for i = 0 to trials - 1 do
+        let r = Nebby.Measurement.measure_cca ~control ~plugins ~seed:(4000 + (i * 101)) name in
+        let label = r.Nebby.Measurement.label in
+        Hashtbl.replace tally label (1 + Option.value ~default:0 (Hashtbl.find_opt tally label))
+      done;
+      let correct = Option.value ~default:0 (Hashtbl.find_opt tally name) in
+      correct_total := !correct_total + correct;
+      n_total := !n_total + trials;
+      let others =
+        Hashtbl.fold
+          (fun k v acc -> if k = name then acc else Printf.sprintf "%s:%d" k v :: acc)
+          tally []
+      in
+      Printf.printf "%-10s %2d/%2d  %s\n%!" name correct trials (String.concat " " others))
+    ccas;
+  Printf.printf "ACCURACY: %.1f%%\n"
+    (100.0 *. float_of_int !correct_total /. float_of_int !n_total)

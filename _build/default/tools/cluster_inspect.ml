@@ -1,0 +1,36 @@
+(* Inspect the trained feature clusters: per-CCA means/spreads and the
+   per-segment decisions on a fresh trace — for debugging GNB confusion.
+
+   dune exec tools/cluster_inspect.exe -- [cca] *)
+
+let () =
+  let target = try Sys.argv.(1) with _ -> "cubic" in
+  let control = Nebby.Training.train ~runs_per_cca:12 () in
+  Printf.printf "=== per-CCA segment-feature means (see Features.vector) ===\n";
+  List.iter
+    (fun (name, vecs) ->
+      match vecs with
+      | [] -> ()
+      | first :: _ ->
+        let dims = Array.length first in
+        let n = float_of_int (List.length vecs) in
+        Printf.printf "%-10s" name;
+        for d = 0 to dims - 1 do
+          let mean = List.fold_left (fun a v -> a +. v.(d)) 0.0 vecs /. n in
+          Printf.printf " %7.2f" mean
+        done;
+        Printf.printf "  (%d samples)\n" (List.length vecs))
+    control.samples;
+  Printf.printf "\n=== per-segment decisions on a fresh %s trace ===\n" target;
+  let profile = Nebby.Profile.delay_50ms in
+  let r = Nebby.Testbed.run_cca ~profile ~seed:99 ~noise:Netsim.Path.mild target in
+  let p = Nebby.Measurement.prepare_result ~profile r in
+  let labels =
+    Nebby.Loss_classifier.segment_labels control ~profile_name:profile.Nebby.Profile.name p
+  in
+  List.iteri
+    (fun i (seg, label) ->
+      Printf.printf "segment %d: t=%5.1f dur=%4.1fs -> %s\n" i
+        seg.Nebby.Pipeline.start_time seg.duration
+        (Option.value ~default:"(below margin or floor)" label))
+    (List.combine p.Nebby.Pipeline.segments labels)

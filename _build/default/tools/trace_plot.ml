@@ -1,0 +1,64 @@
+(* Render the smoothed BiF trace of any CCA as an ASCII bar chart, with the
+   detected back-offs — the first thing to look at when a classification
+   surprises you.
+
+   dune exec tools/trace_plot.exe -- [cca ...] [--profile 50|100]
+                                     [--proto tcp|quic] [--noise quiet|mild|heavy]
+                                     [--seed N] *)
+
+let () =
+  let ccas = ref [] and profile = ref Nebby.Profile.delay_50ms in
+  let proto = ref Netsim.Packet.Tcp and noise = ref Netsim.Path.quiet and seed = ref 555 in
+  let rec parse = function
+    | [] -> ()
+    | "--profile" :: "100" :: rest ->
+      profile := Nebby.Profile.delay_100ms;
+      parse rest
+    | "--profile" :: _ :: rest -> parse rest
+    | "--proto" :: "quic" :: rest ->
+      proto := Netsim.Packet.Quic;
+      parse rest
+    | "--proto" :: _ :: rest -> parse rest
+    | "--noise" :: level :: rest ->
+      noise :=
+        (match level with
+        | "quiet" -> Netsim.Path.quiet
+        | "heavy" -> Netsim.Path.heavy
+        | _ -> Netsim.Path.mild);
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | cca :: rest ->
+      ccas := cca :: !ccas;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let ccas = if !ccas = [] then [ "cubic"; "bbr" ] else List.rev !ccas in
+  List.iter
+    (fun name ->
+      let r = Nebby.Testbed.run_cca ~profile:!profile ~proto:!proto ~noise:!noise ~seed:!seed name in
+      let p = Nebby.Measurement.prepare_result ~profile:!profile r in
+      let s = p.Nebby.Pipeline.smoothed in
+      let maxv = Array.fold_left Float.max 1.0 s in
+      Printf.printf "=== %s (%s, %s; max BiF %.0f B; %d segments) ===\n" name
+        (!profile).Nebby.Profile.name
+        (match !proto with Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic")
+        maxv
+        (Nebby.Pipeline.segment_count p);
+      List.iter
+        (fun (b : Nebby.Pipeline.backoff_info) ->
+          Printf.printf "back-off t=%5.1f depth=%.2f trough=%.2f dwell=%.2fs\n" b.at b.depth
+            b.trough b.dwell)
+        p.Nebby.Pipeline.backoffs;
+      let step = max 1 (int_of_float (0.4 /. p.Nebby.Pipeline.dt)) in
+      let i = ref 0 in
+      while !i < Array.length s do
+        let v = s.(!i) in
+        Printf.printf "%6.1f %8.0f %s\n"
+          (p.Nebby.Pipeline.t0 +. (float_of_int !i *. p.Nebby.Pipeline.dt))
+          v
+          (String.make (max 0 (int_of_float (v /. maxv *. 70.0))) '#');
+        i := !i + step
+      done)
+    ccas
