@@ -37,12 +37,18 @@ let trace_sparkline ?proto ?noise ~profile ~seed name =
   let prepared = Nebby.Measurement.prepare_result ~profile result in
   sparkline prepared.Nebby.Pipeline.smoothed
 
+(* total wall seconds recorded so far under span [name] (0 if never run) *)
+let span_total name =
+  match Obs.Metrics.find_histogram ("span." ^ name) with
+  | Some h -> Obs.Metrics.histogram_sum h
+  | None -> 0.0
+
 let control =
   lazy
-    (let t0 = Unix.gettimeofday () in
-     pf "[training the classifier (control measurements, both transports) ...]\n%!";
+    (pf "[training the classifier (control measurements, both transports) ...]\n%!";
+     let before = span_total "train" in
      let c = Nebby.Training.train ~seed:!seed () in
-     pf "[trained in %.1f s]\n\n%!" (Unix.gettimeofday () -. t0);
+     pf "[trained in %.1f s]\n\n%!" (span_total "train" -. before);
      c)
 
 let header id title =
@@ -761,6 +767,8 @@ let experiments =
 let order = List.mapi (fun i (name, _) -> (name, i)) experiments
 
 let () =
+  (* arm the obs runtime so spans/metrics record for the per-stage breakdown *)
+  Obs.Runtime.arm ();
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse selected = function
     | [] -> List.rev selected
@@ -801,7 +809,18 @@ let () =
         (fun (a, _) (b, _) -> compare (List.assoc a order) (List.assoc b order))
         to_run
     in
-    let t0 = Unix.gettimeofday () in
-    List.iter (fun (_, f) -> f ()) to_run;
-    pf "\n[all experiments done in %.0f s]\n" (Unix.gettimeofday () -. t0)
+    Obs.Span.with_ ~name:"bench" (fun () -> List.iter (fun (_, f) -> f ()) to_run);
+    pf "\nper-stage time breakdown (obs spans):\n";
+    pf "  %-10s %8s %10s %10s %10s %10s\n" "stage" "calls" "total(s)" "p50(s)" "p90(s)" "p99(s)";
+    List.iter
+      (fun stage ->
+        match Obs.Metrics.find_histogram ("span." ^ stage) with
+        | None -> pf "  %-10s %8s %10s %10s %10s %10s\n" stage "-" "-" "-" "-" "-"
+        | Some h ->
+          let p q = Obs.Metrics.percentile h q in
+          pf "  %-10s %8d %10.2f %10.4f %10.4f %10.4f\n" stage
+            (Obs.Metrics.histogram_count h) (Obs.Metrics.histogram_sum h) (p 0.50) (p 0.90)
+            (p 0.99))
+      [ "train"; "simulate"; "prepare"; "classify" ];
+    pf "\n[all experiments done in %.0f s]\n" (span_total "bench")
   end

@@ -3,28 +3,23 @@
 
 open Cmdliner
 
-let proto_of_string = function
-  | "quic" -> Netsim.Packet.Quic
-  | "tcp" -> Netsim.Packet.Tcp
-  | other -> invalid_arg ("unknown protocol: " ^ other)
-
-let noise_of_string = function
-  | "quiet" -> Netsim.Path.quiet
-  | "mild" -> Netsim.Path.mild
-  | "heavy" -> Netsim.Path.heavy
-  | other -> invalid_arg ("unknown noise level: " ^ other)
-
 let cca_arg =
   let doc = "Target server's CCA (a registry name, e.g. cubic, bbr, akamai_cc)." in
   Arg.(value & opt string "cubic" & info [ "cca" ] ~docv:"CCA" ~doc)
 
+(* Arg.enum rejects typos with a proper usage error listing the
+   alternatives, instead of an uncaught Invalid_argument. *)
 let proto_arg =
-  let doc = "Transport: tcp or quic." in
-  Arg.(value & opt string "tcp" & info [ "proto" ] ~docv:"PROTO" ~doc)
+  let protos = [ ("tcp", Netsim.Packet.Tcp); ("quic", Netsim.Packet.Quic) ] in
+  let doc = Printf.sprintf "Transport: %s." (Arg.doc_alts_enum protos) in
+  Arg.(value & opt (enum protos) Netsim.Packet.Tcp & info [ "proto" ] ~docv:"PROTO" ~doc)
 
 let noise_arg =
-  let doc = "Wide-area noise: quiet, mild, or heavy." in
-  Arg.(value & opt string "mild" & info [ "noise" ] ~docv:"NOISE" ~doc)
+  let noises =
+    [ ("quiet", Netsim.Path.quiet); ("mild", Netsim.Path.mild); ("heavy", Netsim.Path.heavy) ]
+  in
+  let doc = Printf.sprintf "Wide-area noise: %s." (Arg.doc_alts_enum noises) in
+  Arg.(value & opt (enum noises) Netsim.Path.mild & info [ "noise" ] ~docv:"NOISE" ~doc)
 
 let seed_arg =
   let doc = "Random seed." in
@@ -36,30 +31,52 @@ let runs_arg =
 
 let train runs = Nebby.Training.train ~runs_per_cca:runs ()
 
+let default_telemetry_file = "nebby-telemetry.jsonl"
+
+let telemetry_arg =
+  let doc =
+    Printf.sprintf
+      "Write structured telemetry (events, spans, metrics) as JSONL to $(docv); inspect it \
+       with $(b,nebby stats) (which defaults to %s)."
+      default_telemetry_file
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let chrome_arg =
+  let doc =
+    "Also write a Chrome trace_event JSON of all spans to $(docv); open it in \
+     chrome://tracing or ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
 let measure_cmd =
-  let run cca proto noise seed runs =
+  let run cca proto noise seed runs telemetry chrome =
     let control = train runs in
     let plugins = Nebby.Classifier.extended_plugins control in
     let report =
-      Nebby.Measurement.measure ~control ~plugins ~proto:(proto_of_string proto)
-        ~noise:(noise_of_string noise) ~seed ~make_cca:(Cca.Registry.create cca) ()
+      Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
+          Nebby.Measurement.measure ~control ~plugins ~proto ~noise ~seed
+            ~make_cca:(Cca.Registry.create cca) ())
     in
     Printf.printf "target CCA : %s\n" cca;
     Printf.printf "classified : %s (after %d attempt%s)\n" report.Nebby.Measurement.label
       report.attempts
       (if report.attempts = 1 then "" else "s");
-    List.iter (fun (p, l) -> Printf.printf "  profile %-16s -> %s\n" p l) report.per_profile
+    List.iter (fun (p, l) -> Printf.printf "  profile %-16s -> %s\n" p l) report.per_profile;
+    Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
+    Option.iter (Printf.printf "chrome trace: %s\n") chrome
   in
   let doc = "Measure a simulated server and classify its CCA." in
   Cmd.v (Cmd.info "measure" ~doc)
-    Term.(const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg)
+    Term.(
+      const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg $ telemetry_arg
+      $ chrome_arg)
 
 let trace_cmd =
   let run cca proto noise seed =
     let profile = Nebby.Profile.delay_50ms in
     let result =
-      Nebby.Testbed.run ~seed ~noise:(noise_of_string noise) ~proto:(proto_of_string proto)
-        ~profile ~make_cca:(Cca.Registry.create cca) ()
+      Nebby.Testbed.run ~seed ~noise ~proto ~profile ~make_cca:(Cca.Registry.create cca) ()
     in
     Printf.printf "# time_s,bif_bytes (CCA %s, profile %s)\n" cca profile.Nebby.Profile.name;
     List.iter
@@ -84,9 +101,7 @@ let census_cmd =
       | None -> invalid_arg ("unknown region: " ^ region)
     in
     let websites = Internet.Population.generate ~n:sites ~seed () in
-    let tally =
-      Internet.Census.run ~control ~proto:(proto_of_string proto) ~region websites
-    in
+    let tally = Internet.Census.run ~control ~proto ~region websites in
     let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
     Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
     List.iter
@@ -126,7 +141,49 @@ let accuracy_cmd =
   let doc = "Evaluate classification accuracy over the kernel CCAs (Table 3)." in
   Cmd.v (Cmd.info "accuracy" ~doc) Term.(const run $ trials_arg $ runs_arg)
 
+let stats_cmd =
+  let file_arg =
+    let doc =
+      Printf.sprintf
+        "Telemetry JSONL file to summarize (as written by $(b,measure --telemetry)). \
+         Defaults to %s; when no file exists, one fresh instrumented run is profiled \
+         instead."
+        default_telemetry_file
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let path =
+      match file with
+      | Some f -> Some f
+      | None -> if Sys.file_exists default_telemetry_file then Some default_telemetry_file else None
+    in
+    match path with
+    | Some p -> (
+      match Obs.Telemetry.read_summary p with
+      | summary ->
+        Printf.printf "telemetry summary of %s\n\n%s" p (Obs.Telemetry.render_summary summary)
+      | exception Sys_error msg ->
+        Printf.eprintf "nebby stats: %s\n" msg;
+        exit 1)
+    | None ->
+      (* nothing recorded yet: profile one live run so the metrics table is
+         never empty *)
+      Printf.printf
+        "no telemetry file found; profiling a fresh run (cubic, tcp, mild noise, seed 42)\n\n";
+      Obs.Runtime.with_armed (fun () ->
+          let profile = Nebby.Profile.delay_50ms in
+          let result =
+            Nebby.Testbed.run ~seed:42 ~noise:Netsim.Path.mild ~profile
+              ~make_cca:(Cca.Registry.create "cubic") ()
+          in
+          ignore (Nebby.Measurement.prepare_result ~profile result));
+      print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()))
+  in
+  let doc = "Pretty-print the metrics table from a telemetry file (or a fresh run)." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg)
+
 let () =
   let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in
   let info = Cmd.info "nebby" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd; stats_cmd ]))

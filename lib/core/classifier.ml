@@ -32,13 +32,27 @@ let classify ~plugins prepared =
   let verdicts = List.filter_map (fun p -> p.Plugin.classify prepared) plugins in
   (combine verdicts, verdicts)
 
+let emit_vote ~plugin (v : Plugin.verdict) =
+  if Obs.Events.active () then
+    Obs.Events.emit
+      (Obs.Events.Classifier_vote
+         { plugin; label = v.Plugin.label; confidence = v.Plugin.confidence })
+
 let classify_measurement ?(plugins = []) ?(proto = Netsim.Packet.Tcp) ~control
     (prepared : (string * Pipeline.t) list) =
+  Obs.Span.with_ ~name:"classify" @@ fun () ->
   let plugins = if plugins = [] then extended_plugins control else plugins in
   let loss = Loss_classifier.classify_joint ~proto control prepared in
+  Option.iter (emit_vote ~plugin:"loss_gnb") loss;
   let per_trace =
     List.concat_map
-      (fun (_, p) -> List.filter_map (fun plugin -> plugin.Plugin.classify p) plugins)
+      (fun (_, p) ->
+        List.filter_map
+          (fun plugin ->
+            let verdict = plugin.Plugin.classify p in
+            Option.iter (emit_vote ~plugin:plugin.Plugin.name) verdict;
+            verdict)
+          plugins)
       prepared
   in
   let verdicts = Option.to_list loss @ per_trace in

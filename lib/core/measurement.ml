@@ -14,11 +14,12 @@ let classify_trace ?plugins ?proto ~control ~profile (result : Testbed.result) =
     (Classifier.classify_measurement ?plugins ?proto ~control
        [ (profile.Profile.name, prepared) ])
 
-let measure ?plugins ?profiles ?transform ?smoothen ?(noise = Netsim.Path.mild)
+let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.Path.mild)
     ?(proto = Netsim.Packet.Tcp) ?(page_bytes = Profile.default_page_bytes) ?(seed = 99)
     ~control ~make_cca () =
   let profiles = match profiles with Some p -> p | None -> control.Training.profiles in
   let attempt n =
+    if Obs.Events.active () then Obs.Events.emit (Obs.Events.Attempt_started { attempt = n });
     let prepared =
       List.mapi
         (fun i profile ->
@@ -49,7 +50,18 @@ let measure ?plugins ?profiles ?transform ?smoothen ?(noise = Netsim.Path.mild)
     | Classifier.Unknown when n < max_attempts -> go (n + 1)
     | Classifier.Unknown -> { label = "unknown"; attempts = n; per_profile }
   in
-  go 1
+  let run () =
+    let report = go 1 in
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Measurement_done { label = report.label; attempts = report.attempts });
+    report
+  in
+  match telemetry with
+  | None -> run ()
+  | Some f ->
+    let handle = Obs.Events.on f in
+    Fun.protect ~finally:(fun () -> Obs.Events.off handle) run
 
 let measure_cca ?plugins ?noise ?proto ?seed ~control name =
   measure ?plugins ?noise ?proto ?seed ~control ~make_cca:(Cca.Registry.create name) ()

@@ -38,6 +38,7 @@ val measure :
   ?profiles:Profile.t list ->
   ?transform:(rtt:float -> (float * float) list -> (float * float) list) ->
   ?smoothen:bool ->
+  ?telemetry:(Obs.Events.t -> unit) ->
   ?noise:Netsim.Path.noise ->
   ?proto:Netsim.Packet.proto ->
   ?page_bytes:int ->
@@ -46,7 +47,10 @@ val measure :
   make_cca:(Cca.params -> Cca.t) ->
   unit ->
   report
-(** Measure a simulated target server end to end. *)
+(** Measure a simulated target server end to end. [telemetry] subscribes to
+    {!Obs.Events} for the duration of the call, so every layer's events
+    (packet drops, cwnd updates, back-offs, segments, classifier votes,
+    attempts) flow to the callback; the subscription is removed on return. *)
 
 val measure_cca :
   ?plugins:Plugin.t list ->

@@ -155,6 +155,7 @@ let slice_segment ~dt ~t0 ~smoothed ~from_i ~to_i ~drop_frac =
 let tail_clip = 1.0 (* seconds: the transfer-end drain is not CCA behaviour *)
 
 let prepare ?(dt = default_dt) ?(smoothen = true) ~rtt points =
+  Obs.Span.with_ ~name:"prepare" @@ fun () ->
   let pts = Sigproc.Series.of_pairs points in
   let t0, raw = Sigproc.Series.resample ~dt pts in
   let raw =
@@ -198,6 +199,27 @@ let prepare ?(dt = default_dt) ?(smoothen = true) ~rtt points =
                slice_segment ~dt ~t0 ~smoothed ~from_i ~to_i ~drop_frac
              else None)
   in
+  if Obs.Runtime.armed () then begin
+    Obs.Metrics.add (Obs.Metrics.counter "pipeline.segments") (List.length segments);
+    Obs.Metrics.add (Obs.Metrics.counter "pipeline.backoffs") (List.length backoffs);
+    let dur = Obs.Metrics.histogram "pipeline.segment_duration_s" in
+    List.iter (fun seg -> Obs.Metrics.observe dur seg.duration) segments
+  end;
+  if Obs.Events.active () then begin
+    List.iter
+      (fun b ->
+        Obs.Events.emit
+          (Obs.Events.Backoff_detected
+             { at = t0 +. (float_of_int b.b_start *. dt); depth = b.depth; dwell = b.dwell }))
+      backoffs;
+    List.iter
+      (fun seg ->
+        Obs.Events.emit
+          (Obs.Events.Segment_produced
+             { start_time = seg.start_time; duration = seg.duration;
+               samples = Array.length seg.values }))
+      segments
+  end;
   {
     dt;
     rtt;

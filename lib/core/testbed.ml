@@ -12,6 +12,12 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
     ?(params = Cca.default_params) ?(page_bytes = Profile.default_page_bytes)
     ?(time_limit = 60.0) ?ack_every ~profile ~make_cca () =
   let sim = Netsim.Sim.create () in
+  (* expose the virtual clock before the span opens so "simulate" records a
+     virtual duration (the simulated transfer time) next to its wall time *)
+  let prev_clock = Obs.Runtime.virtual_clock () in
+  Obs.Runtime.set_virtual_clock (Some (fun () -> Netsim.Sim.now sim));
+  Fun.protect ~finally:(fun () -> Obs.Runtime.set_virtual_clock prev_clock) @@ fun () ->
+  Obs.Span.with_ ~name:"simulate" @@ fun () ->
   let rng = Netsim.Rng.create seed in
   let trace = Netsim.Trace.create () in
   let cca = make_cca params in

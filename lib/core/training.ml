@@ -97,6 +97,7 @@ type raw = {
 let train ?(runs_per_cca = 15) ?(quic_runs_per_cca = 8) ?(profiles = Profile.default_pair)
     ?(seed = 7) ?(page_bytes = Profile.default_page_bytes) ?(transform = fun ~rtt:_ pts -> pts)
     () =
+  Obs.Span.with_ ~name:"train" @@ fun () ->
   (* For each CCA and run, measure under every profile with the same vantage
      noise; the concatenation of the per-profile trace vectors is the joint
      training sample, mirroring how a measurement runs both profiles. TCP
@@ -155,7 +156,16 @@ let train ?(runs_per_cca = 15) ?(quic_runs_per_cca = 8) ?(profiles = Profile.def
           | None -> ())
         per_profile;
       if List.for_all Option.is_some per_profile then
-        raw.joint_vecs <- Array.concat (List.map Option.get per_profile) :: raw.joint_vecs
+        raw.joint_vecs <- Array.concat (List.map Option.get per_profile) :: raw.joint_vecs;
+      if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter "training.runs");
+      if Obs.Events.active () then
+        Obs.Events.emit
+          (Obs.Events.Training_run
+             {
+               cca = cca_name;
+               proto = (match proto with Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic");
+               run;
+             })
     done;
     raw
   in

@@ -42,11 +42,22 @@ let rec serve t =
         serve t)
 
 let send t pkt =
-  if t.queued_bytes + pkt.Packet.size > t.buffer_bytes && t.busy then
-    t.drops <- t.drops + 1
+  if t.queued_bytes + pkt.Packet.size > t.buffer_bytes && t.busy then begin
+    t.drops <- t.drops + 1;
+    if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter "netsim.link.drops");
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Packet_dropped
+           { time = Sim.now t.sim; size = pkt.Packet.size; queue_bytes = t.queued_bytes })
+  end
   else begin
     Queue.add pkt t.queue;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter "netsim.link.enqueued");
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Packet_enqueued
+           { time = Sim.now t.sim; size = pkt.Packet.size; queue_bytes = t.queued_bytes });
     if not t.busy then serve t
   end
 

@@ -13,6 +13,7 @@ let after t delay f = at t (t.clock +. delay) f
 
 let run ?until t =
   let horizon = match until with None -> infinity | Some h -> h in
+  let executed = ref 0 in
   let rec loop () =
     match Event_queue.peek_time t.queue with
     | None -> ()
@@ -23,11 +24,20 @@ let run ?until t =
       | Some (time, f) ->
         t.clock <- time;
         f ();
+        incr executed;
         loop ())
   in
-  loop ();
+  (* expose the virtual clock so spans opened inside simulated code also
+     record virtual durations; restored on exit to tolerate nested sims *)
+  let prev_clock = Obs.Runtime.virtual_clock () in
+  Obs.Runtime.set_virtual_clock (Some (fun () -> t.clock));
+  Fun.protect ~finally:(fun () -> Obs.Runtime.set_virtual_clock prev_clock) loop;
   (match until with
   | Some h when t.clock < h -> t.clock <- h
-  | Some _ | None -> ())
+  | Some _ | None -> ());
+  if Obs.Runtime.armed () then
+    Obs.Metrics.add (Obs.Metrics.counter "netsim.sim.events") !executed;
+  if Obs.Events.active () then
+    Obs.Events.emit (Obs.Events.Sim_run_complete { events = !executed; clock = t.clock })
 
 let pending t = Event_queue.length t.queue

@@ -1,0 +1,76 @@
+type t =
+  | Packet_enqueued of { time : float; size : int; queue_bytes : int }
+  | Packet_dropped of { time : float; size : int; queue_bytes : int }
+  | Sim_run_complete of { events : int; clock : float }
+  | Cwnd_update of { time : float; cca : string; cwnd : float; inflight : int }
+  | Retransmit of { time : float; seq : int }
+  | Backoff_detected of { at : float; depth : float; dwell : float }
+  | Segment_produced of { start_time : float; duration : float; samples : int }
+  | Classifier_vote of { plugin : string; label : string; confidence : float }
+  | Attempt_started of { attempt : int }
+  | Measurement_done of { label : string; attempts : int }
+  | Training_run of { cca : string; proto : string; run : int }
+
+let kind = function
+  | Packet_enqueued _ -> "packet_enqueued"
+  | Packet_dropped _ -> "packet_dropped"
+  | Sim_run_complete _ -> "sim_run_complete"
+  | Cwnd_update _ -> "cwnd_update"
+  | Retransmit _ -> "retransmit"
+  | Backoff_detected _ -> "backoff_detected"
+  | Segment_produced _ -> "segment_produced"
+  | Classifier_vote _ -> "classifier_vote"
+  | Attempt_started _ -> "attempt_started"
+  | Measurement_done _ -> "measurement_done"
+  | Training_run _ -> "training_run"
+
+let to_json ev =
+  let fields =
+    match ev with
+    | Packet_enqueued { time; size; queue_bytes } | Packet_dropped { time; size; queue_bytes }
+      ->
+      [ ("time", Json.Num time); ("size", Json.Num (float_of_int size));
+        ("queue_bytes", Json.Num (float_of_int queue_bytes)) ]
+    | Sim_run_complete { events; clock } ->
+      [ ("events", Json.Num (float_of_int events)); ("clock", Json.Num clock) ]
+    | Cwnd_update { time; cca; cwnd; inflight } ->
+      [ ("time", Json.Num time); ("cca", Json.Str cca); ("cwnd", Json.Num cwnd);
+        ("inflight", Json.Num (float_of_int inflight)) ]
+    | Retransmit { time; seq } ->
+      [ ("time", Json.Num time); ("seq", Json.Num (float_of_int seq)) ]
+    | Backoff_detected { at; depth; dwell } ->
+      [ ("at", Json.Num at); ("depth", Json.Num depth); ("dwell", Json.Num dwell) ]
+    | Segment_produced { start_time; duration; samples } ->
+      [ ("start_time", Json.Num start_time); ("duration", Json.Num duration);
+        ("samples", Json.Num (float_of_int samples)) ]
+    | Classifier_vote { plugin; label; confidence } ->
+      [ ("plugin", Json.Str plugin); ("label", Json.Str label);
+        ("confidence", Json.Num confidence) ]
+    | Attempt_started { attempt } -> [ ("attempt", Json.Num (float_of_int attempt)) ]
+    | Measurement_done { label; attempts } ->
+      [ ("label", Json.Str label); ("attempts", Json.Num (float_of_int attempts)) ]
+    | Training_run { cca; proto; run } ->
+      [ ("cca", Json.Str cca); ("proto", Json.Str proto); ("run", Json.Num (float_of_int run)) ]
+  in
+  Json.Obj (("kind", Json.Str (kind ev)) :: fields)
+
+type handle = int
+
+let next_handle = ref 0
+let subscribers : (handle * (t -> unit)) list ref = ref []
+
+let active () = !subscribers != []
+
+let on f =
+  Stdlib.incr next_handle;
+  let h = !next_handle in
+  subscribers := (h, f) :: !subscribers;
+  Runtime.arm ();
+  h
+
+let off h =
+  let before = List.length !subscribers in
+  subscribers := List.filter (fun (h', _) -> h' <> h) !subscribers;
+  if List.length !subscribers < before then Runtime.disarm ()
+
+let emit ev = List.iter (fun (_, f) -> f ev) !subscribers

@@ -1,0 +1,47 @@
+(** Structured event hooks: the pipeline's layers emit typed events here and
+    any number of subscribers (a JSONL writer, a test harness, a live
+    aggregator) observe them.
+
+    Emission discipline, enforced at every call site: guard with {!active}
+    before constructing the event value, so with no subscriber installed the
+    fast path costs one list-head check and allocates nothing. *)
+
+type t =
+  | Packet_enqueued of { time : float; size : int; queue_bytes : int }
+      (** A data/ack packet entered the bottleneck queue (netsim layer). *)
+  | Packet_dropped of { time : float; size : int; queue_bytes : int }
+      (** The bottleneck buffer overflowed (netsim layer). *)
+  | Sim_run_complete of { events : int; clock : float }
+      (** One discrete-event run drained; [events] executed, virtual [clock]. *)
+  | Cwnd_update of { time : float; cca : string; cwnd : float; inflight : int }
+      (** The sender consulted its CCA after an ack (transport layer). *)
+  | Retransmit of { time : float; seq : int }
+      (** A segment was retransmitted (transport layer). *)
+  | Backoff_detected of { at : float; depth : float; dwell : float }
+      (** Segmentation found a congestion back-off (pipeline layer). *)
+  | Segment_produced of { start_time : float; duration : float; samples : int }
+      (** A congestion-avoidance segment was cut (pipeline layer). *)
+  | Classifier_vote of { plugin : string; label : string; confidence : float }
+      (** One classifier plugin cast a verdict (classifier layer). *)
+  | Attempt_started of { attempt : int }
+      (** A measurement attempt began; attempts > 1 are retries. *)
+  | Measurement_done of { label : string; attempts : int }
+      (** The measurement concluded with [label]. *)
+  | Training_run of { cca : string; proto : string; run : int }
+      (** One control-measurement training run finished. *)
+
+val kind : t -> string
+(** Stable snake_case tag, used as the ["kind"] field of the JSONL schema. *)
+
+val to_json : t -> Json.t
+(** Flat JSON object: [{"kind": ..., <payload fields>}]. *)
+
+type handle
+
+val on : (t -> unit) -> handle
+(** Subscribe. Also arms {!Runtime}, so metrics/spans record while any
+    subscriber is installed. *)
+
+val off : handle -> unit
+val active : unit -> bool
+val emit : t -> unit

@@ -1,0 +1,28 @@
+(** A minimal self-contained JSON representation, writer, and parser.
+
+    Exists so the telemetry subsystem carries no external dependencies; it
+    supports exactly the JSON this library itself emits (scalars, strings,
+    arrays, objects). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line encoding (safe for JSONL). *)
+
+val of_string : string -> t
+(** Parse one JSON value. Raises {!Parse_error} on malformed input. *)
+
+(** Accessors returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

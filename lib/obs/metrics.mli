@@ -1,0 +1,71 @@
+(** A process-wide metrics registry: named counters, gauges, and log-linear
+    histograms.
+
+    Handles are cheap mutable records; look one up once (by name) and keep
+    it. Updates are plain field writes — instrumented hot paths guard on
+    {!Runtime.armed} so a disabled run never touches the registry. The
+    registry is global and survives across runs; {!reset} clears it (tests,
+    fresh experiment batches). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create. Raises [Invalid_argument] if the name is already
+    registered as a different metric type. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val histogram : string -> histogram
+(** Log-linear histogram: 16 linear cells per power-of-two octave
+    (reconstruction error below ~3%). Non-positive and non-finite values
+    land in a dedicated underflow cell counted as 0. *)
+
+val find_histogram : string -> histogram option
+(** Like {!histogram} but does not create on miss. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_name : histogram -> string
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0,1]; [nan] when empty. *)
+
+(** Snapshots decouple rendering/serialization from the live registry, so
+    the same table renderer works on metrics parsed back from a telemetry
+    file. Histogram cells are (cell center, count) pairs in ascending
+    order. *)
+type snap =
+  | Counter_snap of { name : string; value : int }
+  | Gauge_snap of { name : string; value : float }
+  | Histogram_snap of {
+      name : string;
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+      cells : (float * int) list;
+    }
+
+val snapshot : unit -> snap list
+(** All registered metrics, sorted by name. *)
+
+val snap_name : snap -> string
+
+val percentile_of_cells : (float * int) list -> float -> float
+
+val render : snap list -> string
+(** Pretty-print: a counter/gauge table followed by a histogram table with
+    count, sum, p50, p90, p99, and max columns. *)
+
+val reset : unit -> unit

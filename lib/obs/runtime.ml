@@ -1,0 +1,14 @@
+let armed_count = ref 0
+let armed () = !armed_count > 0
+let arm () = incr armed_count
+let disarm () = if !armed_count > 0 then decr armed_count
+
+let vclock : (unit -> float) option ref = ref None
+let set_virtual_clock p = vclock := p
+let virtual_clock () = !vclock
+
+let virtual_now () = match !vclock with None -> None | Some f -> Some (f ())
+
+let with_armed f =
+  arm ();
+  Fun.protect ~finally:disarm f

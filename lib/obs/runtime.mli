@@ -1,0 +1,23 @@
+(** The global telemetry switch and the virtual-clock provider.
+
+    Instrumented code guards every recording action on {!armed}; when
+    nothing has armed the runtime the fast path is a single int-ref read
+    and no closure or event value is allocated. Arming is counted, so
+    independent sinks (a JSONL writer, the bench collector, a test
+    subscriber) can overlap safely. *)
+
+val armed : unit -> bool
+(** True when at least one consumer wants telemetry recorded. *)
+
+val arm : unit -> unit
+val disarm : unit -> unit
+
+val with_armed : (unit -> 'a) -> 'a
+(** Run [f] with the runtime armed, disarming afterwards even on raise. *)
+
+val set_virtual_clock : (unit -> float) option -> unit
+(** Installed by simulation drivers ([Netsim.Sim.run]) so spans opened
+    inside simulated code also record virtual durations. *)
+
+val virtual_clock : unit -> (unit -> float) option
+val virtual_now : unit -> float option

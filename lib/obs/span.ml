@@ -1,0 +1,126 @@
+type completed = {
+  id : int;
+  parent_id : int option;
+  name : string;
+  depth : int;
+  wall_start : float;
+  wall_stop : float;
+  virt_start : float option;
+  virt_stop : float option;
+  raised : bool;
+}
+
+type handle = int
+
+let next_id = ref 0
+let next_handle = ref 0
+let subscribers : (handle * (completed -> unit)) list ref = ref []
+
+(* the thread of execution: innermost open span first *)
+let stack : (int * string) list ref = ref []
+
+let on_complete f =
+  incr next_handle;
+  let h = !next_handle in
+  subscribers := (h, f) :: !subscribers;
+  Runtime.arm ();
+  h
+
+let off h =
+  let before = List.length !subscribers in
+  subscribers := List.filter (fun (h', _) -> h' <> h) !subscribers;
+  if List.length !subscribers < before then Runtime.disarm ()
+
+let duration_histogram name = Metrics.histogram ("span." ^ name)
+
+let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
+  let wall_stop = Unix.gettimeofday () in
+  let virt_stop = Runtime.virtual_now () in
+  (* pop our frame; defensively drop any frames an escaping exception left
+     behind above us *)
+  let rec pop = function
+    | (id', _) :: rest when id' = id -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  stack := pop !stack;
+  Metrics.observe (duration_histogram name) (wall_stop -. wall_start);
+  (match (virt_start, virt_stop) with
+  | Some v0, Some v1 when v1 >= v0 -> Metrics.observe (duration_histogram ("virt." ^ name)) (v1 -. v0)
+  | _ -> ());
+  let c =
+    { id; parent_id; name; depth; wall_start; wall_stop; virt_start; virt_stop; raised }
+  in
+  List.iter (fun (_, f) -> f c) !subscribers
+
+let with_ ~name f =
+  if not (Runtime.armed ()) then f ()
+  else begin
+    incr next_id;
+    let id = !next_id in
+    let parent_id = match !stack with [] -> None | (pid, _) :: _ -> Some pid in
+    let depth = List.length !stack in
+    stack := (id, name) :: !stack;
+    let wall_start = Unix.gettimeofday () in
+    let virt_start = Runtime.virtual_now () in
+    match f () with
+    | result ->
+      finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised:false;
+      result
+    | exception e ->
+      finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised:true;
+      raise e
+  end
+
+let to_json c =
+  let opt name = function None -> [] | Some v -> [ (name, Json.Num v) ] in
+  Json.Obj
+    ([
+       ("kind", Json.Str "span");
+       ("name", Json.Str c.name);
+       ("id", Json.Num (float_of_int c.id));
+     ]
+    @ (match c.parent_id with
+      | Some p -> [ ("parent_id", Json.Num (float_of_int p)) ]
+      | None -> [])
+    @ [
+        ("depth", Json.Num (float_of_int c.depth));
+        ("wall_start", Json.Num c.wall_start);
+        ("wall_s", Json.Num (c.wall_stop -. c.wall_start));
+      ]
+    @ opt "virt_start" c.virt_start
+    @ (match (c.virt_start, c.virt_stop) with
+      | Some v0, Some v1 -> [ ("virt_s", Json.Num (v1 -. v0)) ]
+      | _ -> [])
+    @ if c.raised then [ ("raised", Json.Bool true) ] else [])
+
+(* Chrome trace_event format: complete ("X") events with microsecond
+   timestamps relative to the earliest span, loadable in chrome://tracing
+   and ui.perfetto.dev. *)
+let chrome_trace spans =
+  let t0 =
+    List.fold_left (fun acc c -> Float.min acc c.wall_start) infinity spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let entry c =
+    Json.Obj
+      [
+        ("name", Json.Str c.name);
+        ("ph", Json.Str "X");
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("ts", Json.Num ((c.wall_start -. t0) *. 1e6));
+        ("dur", Json.Num ((c.wall_stop -. c.wall_start) *. 1e6));
+        ( "args",
+          Json.Obj
+            ((match c.virt_start, c.virt_stop with
+             | Some v0, Some v1 -> [ ("virt_s", Json.Num (v1 -. v0)) ]
+             | _ -> [])
+            @ [ ("depth", Json.Num (float_of_int c.depth)) ]) );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map entry (List.sort (fun a b -> compare a.wall_start b.wall_start) spans)));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

@@ -1,0 +1,39 @@
+(** Span-based tracing over the thread of execution.
+
+    [with_ ~name f] times [f] on the wall clock and — when a simulation is
+    driving (see {!Runtime.set_virtual_clock}) — on the virtual clock too.
+    Nested calls form a tree via parent ids. Every completed span feeds the
+    ["span.<name>"] duration histogram in {!Metrics} (and
+    ["span.virt.<name>"] for virtual time), so per-stage breakdowns need no
+    extra bookkeeping.
+
+    When the runtime is not armed, [with_] is [f ()]: one ref read, no
+    allocation, no clock syscall. *)
+
+type completed = {
+  id : int;
+  parent_id : int option;
+  name : string;
+  depth : int;  (** nesting depth at open time; 0 = root *)
+  wall_start : float;  (** [Unix.gettimeofday] seconds *)
+  wall_stop : float;
+  virt_start : float option;  (** simulation clock, when inside [Sim.run] *)
+  virt_stop : float option;
+  raised : bool;  (** the body escaped with an exception *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+type handle
+
+val on_complete : (completed -> unit) -> handle
+(** Subscribe to finished spans. Also arms {!Runtime}. *)
+
+val off : handle -> unit
+
+val to_json : completed -> Json.t
+(** One JSONL record: [{"kind":"span", ...}]. *)
+
+val chrome_trace : completed list -> Json.t
+(** The Chrome [trace_event] document ("X" phase complete events) for
+    [chrome://tracing] / Perfetto. *)

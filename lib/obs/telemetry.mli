@@ -1,0 +1,33 @@
+(** Telemetry capture and replay: wires {!Events}, {!Span}, and {!Metrics}
+    to files.
+
+    The JSONL schema is one JSON object per line, discriminated by the
+    ["kind"] field:
+    - event lines: [{"kind":"packet_dropped", ...}] — see {!Events.kind};
+    - span lines: [{"kind":"span","name":...,"wall_s":...}];
+    - metric lines, appended once at the end of a recording:
+      [{"kind":"metric","type":"counter"|"gauge"|"histogram", ...}];
+      histograms carry their (center, count) cells so percentiles can be
+      reconstructed offline. *)
+
+val record : ?jsonl:string -> ?chrome:string -> (unit -> 'a) -> 'a
+(** Run [f] with telemetry recording installed. [?jsonl] streams events and
+    spans to that path and appends a metrics snapshot when [f] returns;
+    [?chrome] additionally writes a Chrome [trace_event] file of all spans.
+    With neither given this is exactly [f ()]. Files are finalized even if
+    [f] raises. *)
+
+type summary = {
+  events : (string * int) list;  (** event kind -> occurrences, most frequent first *)
+  spans : (string * int * float) list;  (** span name, count, total wall seconds *)
+  metrics : Metrics.snap list;
+  malformed : int;  (** lines that failed to parse (0 for files we wrote) *)
+}
+
+val read_summary : string -> summary
+(** Parse a JSONL telemetry file back. Raises [Sys_error] if unreadable. *)
+
+val render_summary : summary -> string
+
+val snap_to_json : Metrics.snap -> Json.t
+val snap_of_json : Json.t -> Metrics.snap option

@@ -80,6 +80,7 @@ let bytes_acked t = t.snd_una
 let sample_bif t =
   t.rev_bif <- (Netsim.Sim.now t.sim, inflight t) :: t.rev_bif
 
+
 (* BBR-style rate sample: the delivery progress made while [seg] was in
    flight, which is bounded by the true path throughput even when a
    recovery-ending ack advances snd_una by many segments at once. *)
@@ -113,7 +114,11 @@ and emit t seg ~retx =
   seg.delivered_at_send <- t.rcvd_total;
   if retx then begin
     seg.retx <- true;
-    t.retransmissions <- t.retransmissions + 1
+    t.retransmissions <- t.retransmissions + 1;
+    if Obs.Runtime.armed () then
+      Obs.Metrics.incr (Obs.Metrics.counter "transport.retransmissions");
+    if Obs.Events.active () then
+      Obs.Events.emit (Obs.Events.Retransmit { time = now; seq = seg.seq })
   end;
   let pkt =
     Netsim.Packet.data t.proto ~id:t.next_pkt_id ~seq:seg.seq ~payload:seg.len ~retx ~now
@@ -275,6 +280,11 @@ let handle_ack t (pkt : Netsim.Packet.t) =
         app_limited;
         in_recovery = t.in_recovery;
       };
+    if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter "transport.acks");
+    if Obs.Events.active () then
+      Obs.Events.emit
+        (Obs.Events.Cwnd_update
+           { time = now; cca = t.cca.Cca.name; cwnd = t.cca.Cca.cwnd (); inflight = inflight t });
     sample_bif t;
     if not (finished t) then arm_rto t else t.rto_epoch <- t.rto_epoch + 1;
     try_send t

@@ -10,4 +10,5 @@ let () =
       ("internet", Test_internet.suite);
       ("baselines", Test_baselines.suite);
       ("more", Test_more.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Pre-PR gate: a warning-clean build of every target, then the full test
+# suite. Run from the repository root before sending changes for review.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all (warnings are errors) =="
+out=$(dune build @all 2>&1) || {
+  printf '%s\n' "$out"
+  echo "check.sh: build failed" >&2
+  exit 1
+}
+if [ -n "$out" ]; then
+  printf '%s\n' "$out"
+  echo "check.sh: build emitted warnings; fix them before sending a PR" >&2
+  exit 1
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "check.sh: all green"
