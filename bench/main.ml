@@ -682,6 +682,28 @@ let ablation () =
   pf "       sub-RTT network noise before segmentation (3.4).\n"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: accuracy degradation under the standard fault suite         *)
+(* ------------------------------------------------------------------ *)
+
+let chaos () =
+  header "Chaos" "classification accuracy degradation under fault injection";
+  let control = Lazy.force control in
+  let ccas = Cca.Registry.kernel_ccas @ [ "bbr2" ] in
+  let config = { Nebby.Measurement.default_config with max_attempts = 3 } in
+  let before = Unix.gettimeofday () in
+  let matrix = Nebby.Chaos.run_matrix ~ccas ~config ~seed:!seed ~control () in
+  let elapsed = Unix.gettimeofday () -. before in
+  pf "%s" (Nebby.Chaos.render matrix);
+  let cells =
+    List.fold_left
+      (fun acc (r : Nebby.Chaos.row) -> acc + List.length r.Nebby.Chaos.cells)
+      (List.length matrix.Nebby.Chaos.baseline.Nebby.Chaos.cells)
+      matrix.Nebby.Chaos.rows
+  in
+  pf "\n[%d measurements in %.1f s; every fault ends in a classification or a\n" cells elapsed;
+  pf " typed unknown with a reason chain - the harness never raises]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (--perf)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -762,6 +784,7 @@ let experiments =
     ("fig11", fig11);
     ("table11", table11);
     ("ablation", ablation);
+    ("chaos", chaos);
   ]
 
 let order = List.mapi (fun i (name, _) -> (name, i)) experiments

@@ -1,7 +1,19 @@
 (* Command-line front end: measure simulated servers, dump BiF traces, run
-   mini censuses — the wget/quiche/tcpdump glue of the original tool. *)
+   mini censuses, stress the pipeline with fault injection — the
+   wget/quiche/tcpdump glue of the original tool.
+
+   Exit codes are distinct and scriptable:
+     0  success
+     1  classification failure (measurement ended in "unknown")
+     2  invalid arguments
+     3  internal error (uncaught exception or broken invariant) *)
 
 open Cmdliner
+
+let exit_ok = 0
+let exit_unclassified = 1
+let exit_usage = 2
+let exit_internal = 3
 
 let cca_arg =
   let doc = "Target server's CCA (a registry name, e.g. cubic, bbr, akamai_cc)." in
@@ -29,6 +41,13 @@ let runs_arg =
   let doc = "Training runs per CCA (more runs, tighter clusters, slower start)." in
   Arg.(value & opt int 10 & info [ "training-runs" ] ~docv:"N" ~doc)
 
+let max_attempts_arg =
+  let doc = "Measurement attempts before giving up." in
+  Arg.(
+    value
+    & opt int Nebby.Measurement.default_config.max_attempts
+    & info [ "max-attempts" ] ~docv:"N" ~doc)
+
 let train runs = Nebby.Training.train ~runs_per_cca:runs ()
 
 let default_telemetry_file = "nebby-telemetry.jsonl"
@@ -49,13 +68,21 @@ let chrome_arg =
   in
   Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
 
+let print_failure_chain (report : Nebby.Measurement.report) =
+  Printf.eprintf "nebby: classification failed after %d attempt%s; reason chain: %s\n"
+    report.attempts
+    (if report.attempts = 1 then "" else "s")
+    (String.concat " -> "
+       (List.map Nebby.Measurement.failure_reason_label report.failures))
+
 let measure_cmd =
-  let run cca proto noise seed runs telemetry chrome =
+  let run cca proto noise seed runs max_attempts telemetry chrome =
     let control = train runs in
     let plugins = Nebby.Classifier.extended_plugins control in
+    let config = { Nebby.Measurement.default_config with max_attempts } in
     let report =
       Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
-          Nebby.Measurement.measure ~control ~plugins ~proto ~noise ~seed
+          Nebby.Measurement.measure ~control ~plugins ~proto ~noise ~seed ~config
             ~make_cca:(Cca.Registry.create cca) ())
     in
     Printf.printf "target CCA : %s\n" cca;
@@ -64,13 +91,18 @@ let measure_cmd =
       (if report.attempts = 1 then "" else "s");
     List.iter (fun (p, l) -> Printf.printf "  profile %-16s -> %s\n" p l) report.per_profile;
     Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
-    Option.iter (Printf.printf "chrome trace: %s\n") chrome
+    Option.iter (Printf.printf "chrome trace: %s\n") chrome;
+    if report.label = "unknown" then begin
+      print_failure_chain report;
+      exit_unclassified
+    end
+    else exit_ok
   in
   let doc = "Measure a simulated server and classify its CCA." in
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(
-      const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg $ telemetry_arg
-      $ chrome_arg)
+      const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg $ max_attempts_arg
+      $ telemetry_arg $ chrome_arg)
 
 let trace_cmd =
   let run cca proto noise seed =
@@ -81,7 +113,8 @@ let trace_cmd =
     Printf.printf "# time_s,bif_bytes (CCA %s, profile %s)\n" cca profile.Nebby.Profile.name;
     List.iter
       (fun (t, v) -> Printf.printf "%.4f,%.0f\n" t v)
-      (Nebby.Bif.estimate result.Nebby.Testbed.trace)
+      (Nebby.Bif.estimate result.Nebby.Testbed.trace);
+    exit_ok
   in
   let doc = "Capture one measurement and print the BiF trace as CSV." in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg)
@@ -94,21 +127,23 @@ let census_cmd =
     Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
   in
   let run sites region proto seed runs =
-    let control = train runs in
-    let region =
-      match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
-      | Some r -> r
-      | None -> invalid_arg ("unknown region: " ^ region)
-    in
-    let websites = Internet.Population.generate ~n:sites ~seed () in
-    let tally = Internet.Census.run ~control ~proto ~region websites in
-    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
-    Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
-    List.iter
-      (fun (label, n) ->
-        Printf.printf "%-14s %8d %7.1f%%\n" label n
-          (100.0 *. float_of_int n /. float_of_int total))
-      tally
+    match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
+    | None ->
+      Printf.eprintf "nebby census: unknown region %s (expected one of %s)\n" region
+        (String.concat ", " (List.map Internet.Region.name Internet.Region.all));
+      exit_usage
+    | Some region ->
+      let control = train runs in
+      let websites = Internet.Population.generate ~n:sites ~seed () in
+      let tally = Internet.Census.run ~control ~proto ~region websites in
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+      Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
+      List.iter
+        (fun (label, n) ->
+          Printf.printf "%-14s %8d %7.1f%%\n" label n
+            (100.0 *. float_of_int n /. float_of_int total))
+        tally;
+      exit_ok
   in
   let doc = "Run a mini census over the synthetic website population." in
   Cmd.v (Cmd.info "census" ~doc)
@@ -136,10 +171,97 @@ let accuracy_cmd =
         Printf.printf "%-10s %d/%d\n%!" name !ok trials)
       (Cca.Registry.kernel_ccas @ [ "bbr2" ]);
     Printf.printf "average accuracy: %.1f%%\n"
-      (100.0 *. float_of_int !total_ok /. float_of_int !total)
+      (100.0 *. float_of_int !total_ok /. float_of_int !total);
+    exit_ok
   in
   let doc = "Evaluate classification accuracy over the kernel CCAs (Table 3)." in
   Cmd.v (Cmd.info "accuracy" ~doc) Term.(const run $ trials_arg $ runs_arg)
+
+let chaos_cmd =
+  let names_conv = Arg.(some (list string)) in
+  let list_arg ~name ~doc =
+    Arg.(value & opt names_conv None & info [ name ] ~docv:"NAMES" ~doc)
+  in
+  let ccas_arg =
+    list_arg ~name:"ccas"
+      ~doc:"Comma-separated CCA registry names to measure (default: the full registry)."
+  in
+  let families_arg =
+    list_arg ~name:"families"
+      ~doc:
+        "Comma-separated fault families to inject (default: all). The fault-free baseline \
+         row always runs."
+  in
+  let list_families_arg =
+    Arg.(value & flag & info [ "list-families" ] ~doc:"Print the fault families and exit.")
+  in
+  let dump_plans_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-plans" ]
+          ~doc:"Print the seeded fault plans of the suite as JSON and exit.")
+  in
+  let run ccas families seed runs max_attempts proto telemetry chrome list_families dump_plans
+      =
+    if list_families then begin
+      List.iter print_endline Nebby.Chaos.family_names;
+      exit_ok
+    end
+    else if dump_plans then begin
+      List.iter
+        (fun (family, plan) ->
+          Printf.printf "%-18s %s\n" family (Faults.to_string plan))
+        (Nebby.Chaos.standard_suite ~seed ());
+      exit_ok
+    end
+    else begin
+      let bad_ccas =
+        match ccas with
+        | None -> []
+        | Some cs -> List.filter (fun c -> not (List.mem c Cca.Registry.all)) cs
+      in
+      let bad_families =
+        match families with
+        | None -> []
+        | Some fs -> List.filter (fun f -> not (List.mem f Nebby.Chaos.family_names)) fs
+      in
+      if bad_ccas <> [] || bad_families <> [] then begin
+        List.iter (Printf.eprintf "nebby chaos: unknown CCA %s\n") bad_ccas;
+        List.iter
+          (fun f ->
+            Printf.eprintf "nebby chaos: unknown fault family %s (expected one of %s)\n" f
+              (String.concat ", " Nebby.Chaos.family_names))
+          bad_families;
+        exit_usage
+      end
+      else begin
+        let control = train runs in
+        let config = { Nebby.Measurement.default_config with max_attempts } in
+        let matrix =
+          Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
+              Nebby.Chaos.run_matrix ?ccas ?families ~config ~seed ~proto ~control ())
+        in
+        print_string (Nebby.Chaos.render matrix);
+        Option.iter (Printf.printf "\ntelemetry  : %s\n") telemetry;
+        if matrix.Nebby.Chaos.violations <> [] then begin
+          Printf.eprintf
+            "nebby chaos: resilience invariant broken: %d cell(s) ended unknown without a \
+             reason chain\n"
+            (List.length matrix.Nebby.Chaos.violations);
+          exit_internal
+        end
+        else exit_ok
+      end
+    end
+  in
+  let doc =
+    "Measure CCAs under a standard fault-injection suite and report accuracy degradation \
+     per fault family."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ ccas_arg $ families_arg $ seed_arg $ runs_arg $ max_attempts_arg $ proto_arg
+      $ telemetry_arg $ chrome_arg $ list_families_arg $ dump_plans_arg)
 
 let stats_cmd =
   let file_arg =
@@ -162,10 +284,11 @@ let stats_cmd =
     | Some p -> (
       match Obs.Telemetry.read_summary p with
       | summary ->
-        Printf.printf "telemetry summary of %s\n\n%s" p (Obs.Telemetry.render_summary summary)
+        Printf.printf "telemetry summary of %s\n\n%s" p (Obs.Telemetry.render_summary summary);
+        exit_ok
       | exception Sys_error msg ->
         Printf.eprintf "nebby stats: %s\n" msg;
-        exit 1)
+        exit_usage)
     | None ->
       (* nothing recorded yet: profile one live run so the metrics table is
          never empty *)
@@ -178,7 +301,8 @@ let stats_cmd =
               ~make_cca:(Cca.Registry.create "cubic") ()
           in
           ignore (Nebby.Measurement.prepare_result ~profile result));
-      print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()))
+      print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+      exit_ok
   in
   let doc = "Pretty-print the metrics table from a telemetry file (or a fresh run)." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg)
@@ -186,4 +310,17 @@ let stats_cmd =
 let () =
   let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in
   let info = Cmd.info "nebby" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd; stats_cmd ]))
+  let group =
+    Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd; chaos_cmd; stats_cmd ]
+  in
+  let code =
+    match Cmd.eval_value ~catch:false group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> exit_ok
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> exit_internal
+    | exception e ->
+      Printf.eprintf "nebby: internal error: %s\n" (Printexc.to_string e);
+      exit_internal
+  in
+  exit code

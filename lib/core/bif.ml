@@ -1,4 +1,50 @@
+type issue =
+  | Empty_trace
+  | Non_monotonic_timestamps of int
+  | Zero_length_segments of int
+
+let issue_label = function
+  | Empty_trace -> "empty_trace"
+  | Non_monotonic_timestamps n -> Printf.sprintf "non_monotonic_timestamps(%d)" n
+  | Zero_length_segments n -> Printf.sprintf "zero_length_segments(%d)" n
+
+(* Capture-point faults (timestamp jitter, packet duplication) produce
+   observation lists that violate the estimators' implicit invariants.
+   [validate] turns each violation into a diagnostic; [sanitize] repairs
+   what can be repaired (ordering) so estimation degrades instead of
+   miscounting. *)
+let validate trace =
+  match Netsim.Trace.observations trace with
+  | [] -> [ Empty_trace ]
+  | obs ->
+    let backward = ref 0 and zero_len = ref 0 in
+    let rec walk = function
+      | (a : Netsim.Trace.obs) :: (b :: _ as rest) ->
+        if b.time < a.time then incr backward;
+        walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk obs;
+    List.iter
+      (fun (o : Netsim.Trace.obs) ->
+        match o.view with
+        | Netsim.Trace.Tcp_view { payload; is_ack; _ } when (not is_ack) && payload <= 0 ->
+          incr zero_len
+        | Netsim.Trace.Tcp_view _ | Netsim.Trace.Opaque -> ())
+      obs;
+    let issues = if !zero_len > 0 then [ Zero_length_segments !zero_len ] else [] in
+    if !backward > 0 then Non_monotonic_timestamps !backward :: issues else issues
+
+let sanitize obs =
+  let rec is_sorted = function
+    | (a : Netsim.Trace.obs) :: (b :: _ as rest) -> a.time <= b.time && is_sorted rest
+    | [ _ ] | [] -> true
+  in
+  if is_sorted obs then obs
+  else List.stable_sort (fun (a : Netsim.Trace.obs) b -> Float.compare a.time b.time) obs
+
 let estimate_tcp obs =
+  let obs = sanitize obs in
   let max_end = ref 0 and max_ack = ref 0 in
   (* A data packet below the send front is a retransmission: its original
      copy was lost, so those bytes are no longer in flight. Track them as
@@ -25,6 +71,7 @@ let estimate_tcp obs =
           expire_credits ()
         end
       end
+      else if payload <= 0 then () (* zero-length segment: no bytes moved *)
       else if seq + payload > !max_end then max_end := seq + payload
       else if seq >= !max_ack && not (Hashtbl.mem credits seq) then begin
         Hashtbl.replace credits seq payload;
@@ -72,6 +119,7 @@ let drift_correct points =
     end
 
 let estimate_quic obs =
+  let obs = sanitize obs in
   let header = Netsim.Packet.header_size Netsim.Packet.Quic in
   let total_data, n_acks =
     List.fold_left

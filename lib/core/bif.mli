@@ -10,9 +10,27 @@
     ACKs, and (ii) each ACK acknowledges a constant number of bytes,
     estimated as total transferred bytes divided by total ACK count. *)
 
+type issue =
+  | Empty_trace  (** the capture recorded nothing at all *)
+  | Non_monotonic_timestamps of int
+      (** this many adjacent observation pairs step backwards in time
+          (capture-point timestamp jitter) *)
+  | Zero_length_segments of int
+      (** this many data packets carry no payload *)
+
+val issue_label : issue -> string
+(** Human-readable diagnostic, e.g. ["non_monotonic_timestamps(3)"]. *)
+
+val validate : Netsim.Trace.t -> issue list
+(** Diagnose a captured trace. An empty list means the trace satisfies the
+    estimators' invariants; a malformed trace yields diagnostics here and a
+    degraded (never raising) estimate from {!estimate}. *)
+
 val estimate : Netsim.Trace.t -> (float * float) list
 (** Time-stamped BiF estimate, one point per captured packet. Dispatches on
-    whether the trace has TCP visibility. *)
+    whether the trace has TCP visibility. Malformed input is tolerated:
+    out-of-order observations are re-sorted and zero-length segments are
+    ignored rather than miscounted. *)
 
 val estimate_tcp : Netsim.Trace.obs list -> (float * float) list
 val estimate_quic : Netsim.Trace.obs list -> (float * float) list

@@ -1,6 +1,48 @@
-type report = { label : string; attempts : int; per_profile : (string * string) list }
+type failure_reason =
+  | Trace_truncated
+  | Too_few_oscillations
+  | Low_confidence
+  | Flow_reset
+  | Timeout
 
-let max_attempts = 5
+let failure_reason_label = function
+  | Trace_truncated -> "trace_truncated"
+  | Too_few_oscillations -> "too_few_oscillations"
+  | Low_confidence -> "low_confidence"
+  | Flow_reset -> "flow_reset"
+  | Timeout -> "timeout"
+
+type config = {
+  max_attempts : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_jitter : float;
+  retry_budgets : (failure_reason * int) list;
+  sleep : float -> unit;
+}
+
+let default_config =
+  {
+    max_attempts = 5;
+    backoff_base = 0.5;
+    backoff_factor = 2.0;
+    backoff_jitter = 0.25;
+    (* a server that resets or times out once will usually do it again;
+       don't burn the whole attempt budget on it *)
+    retry_budgets = [ (Flow_reset, 1); (Timeout, 1); (Trace_truncated, 2) ];
+    sleep = ignore;
+  }
+
+let retry_budget config reason =
+  match List.assoc_opt reason config.retry_budgets with Some n -> n | None -> max_int
+
+type report = {
+  label : string;
+  attempts : int;
+  per_profile : (string * string) list;
+  failures : failure_reason list;
+  backoff_total : float;
+}
 
 let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
     (result : Testbed.result) =
@@ -14,44 +56,112 @@ let classify_trace ?plugins ?proto ~control ~profile (result : Testbed.result) =
     (Classifier.classify_measurement ?plugins ?proto ~control
        [ (profile.Profile.name, prepared) ])
 
+(* The capture is truncated when it covers much less of the flow than the
+   sender actually transmitted (the sender's own BiF log is the ground
+   truth for how long the flow ran). *)
+let capture_truncated (result : Testbed.result) =
+  let sender_end =
+    List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 result.Testbed.ground_truth_bif
+  in
+  Netsim.Trace.length result.Testbed.trace < 16
+  || Netsim.Trace.duration result.Testbed.trace < 0.8 *. sender_end
+
+(* Truncation outranks timeout: a truncated capture misses most of what the
+   sender sent, while a timed-out transfer is still fully captured — so when
+   both hold, the capture gap is the actionable cause. *)
+let diagnose runs ~segments =
+  if List.exists (fun (_, r) -> r.Testbed.flow_reset) runs then Flow_reset
+  else if List.exists (fun (_, r) -> capture_truncated r) runs then Trace_truncated
+  else if List.exists (fun (_, r) -> not r.Testbed.finished) runs then Timeout
+  else if segments = 0 then Too_few_oscillations
+  else Low_confidence
+
 let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.Path.mild)
     ?(proto = Netsim.Packet.Tcp) ?(page_bytes = Profile.default_page_bytes) ?(seed = 99)
-    ~control ~make_cca () =
+    ?(config = default_config) ?faults ~control ~make_cca () =
   let profiles = match profiles with Some p -> p | None -> control.Training.profiles in
+  (* jitter draws come from a named substream of the measurement seed, so
+     backoff randomization can never perturb the measurement itself *)
+  let backoff_rng = Netsim.Rng.named (Netsim.Rng.create seed) "measurement.backoff" in
   let attempt n =
     if Obs.Events.active () then Obs.Events.emit (Obs.Events.Attempt_started { attempt = n });
-    let prepared =
+    let runs =
       List.mapi
         (fun i profile ->
           let run_seed = seed + (7919 * n) + (31 * i) in
-          let result =
-            Testbed.run ~seed:run_seed ~noise ~proto ~page_bytes ~profile ~make_cca ()
-          in
-          (profile, prepare_result ?transform ?smoothen ~profile result))
+          ( profile,
+            Testbed.run ~seed:run_seed ~noise ~proto ~page_bytes ?faults ~profile ~make_cca
+              () ))
         profiles
     in
-    let keyed = List.map (fun (p, prep) -> (p.Profile.name, prep)) prepared in
-    let outcome, _ = Classifier.classify_measurement ?plugins ~proto ~control keyed in
-    let per_profile =
-      List.map
-        (fun (name, prep) ->
-          let o, _ =
-            Classifier.classify_measurement ?plugins ~proto ~control [ (name, prep) ]
-          in
-          (name, Classifier.outcome_label o))
-        keyed
-    in
-    (outcome, per_profile)
+    if List.exists (fun (_, r) -> r.Testbed.flow_reset) runs then `Failed (Flow_reset, [])
+    else begin
+      match
+        let prepared =
+          List.map
+            (fun (p, r) -> (p.Profile.name, prepare_result ?transform ?smoothen ~profile:p r))
+            runs
+        in
+        let outcome, _ = Classifier.classify_measurement ?plugins ~proto ~control prepared in
+        let per_profile =
+          List.map
+            (fun (name, prep) ->
+              let o, _ =
+                Classifier.classify_measurement ?plugins ~proto ~control [ (name, prep) ]
+              in
+              (name, Classifier.outcome_label o))
+            prepared
+        in
+        let segments =
+          List.fold_left (fun acc (_, prep) -> acc + Pipeline.segment_count prep) 0 prepared
+        in
+        (outcome, per_profile, segments)
+      with
+      | Classifier.Known label, per_profile, _ -> `Classified (label, per_profile)
+      | Classifier.Unknown, per_profile, segments ->
+        `Failed (diagnose runs ~segments, per_profile)
+      | exception _ ->
+        (* a malformed trace broke the pipeline: diagnose rather than raise *)
+        let reason =
+          if List.exists (fun (_, r) -> capture_truncated r) runs then Trace_truncated
+          else Low_confidence
+        in
+        `Failed (reason, [])
+    end
   in
-  let rec go n =
-    let outcome, per_profile = attempt n in
-    match outcome with
-    | Classifier.Known label -> { label; attempts = n; per_profile }
-    | Classifier.Unknown when n < max_attempts -> go (n + 1)
-    | Classifier.Unknown -> { label = "unknown"; attempts = n; per_profile }
+  let rec go n failures backoff_total =
+    match attempt n with
+    | `Classified (label, per_profile) ->
+      { label; attempts = n; per_profile; failures = List.rev failures; backoff_total }
+    | `Failed (reason, per_profile) ->
+      if Obs.Events.active () then
+        Obs.Events.emit
+          (Obs.Events.Attempt_failed { attempt = n; reason = failure_reason_label reason });
+      let failures = reason :: failures in
+      let occurrences = List.length (List.filter (( = ) reason) failures) in
+      if n >= config.max_attempts || occurrences > retry_budget config reason then
+        {
+          label = "unknown";
+          attempts = n;
+          per_profile;
+          failures = List.rev failures;
+          backoff_total;
+        }
+      else begin
+        let jitter = 1.0 +. (config.backoff_jitter *. Netsim.Rng.float backoff_rng) in
+        let delay =
+          config.backoff_base *. (config.backoff_factor ** float_of_int (n - 1)) *. jitter
+        in
+        if Obs.Events.active () then
+          Obs.Events.emit
+            (Obs.Events.Retry_backoff
+               { attempt = n; delay; reason = failure_reason_label reason });
+        config.sleep delay;
+        go (n + 1) failures (backoff_total +. delay)
+      end
   in
   let run () =
-    let report = go 1 in
+    let report = go 1 [] 0.0 in
     if Obs.Events.active () then
       Obs.Events.emit
         (Obs.Events.Measurement_done { label = report.label; attempts = report.attempts });
@@ -63,5 +173,6 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
     let handle = Obs.Events.on f in
     Fun.protect ~finally:(fun () -> Obs.Events.off handle) run
 
-let measure_cca ?plugins ?noise ?proto ?seed ~control name =
-  measure ?plugins ?noise ?proto ?seed ~control ~make_cca:(Cca.Registry.create name) ()
+let measure_cca ?plugins ?noise ?proto ?seed ?config ?faults ~control name =
+  measure ?plugins ?noise ?proto ?seed ?config ?faults ~control
+    ~make_cca:(Cca.Registry.create name) ()

@@ -2,18 +2,55 @@
 
     Each attempt downloads the target page under both network profiles
     (§3.3), classifies each trace, and combines: agreement or a single
-    decisive profile yields a classification; a conflict or two unknowns
-    triggers a retry with a fresh seed, up to 5 attempts (§2.1, "Handling
-    Noisy Measurements"). *)
+    decisive profile yields a classification; anything else is diagnosed
+    into a typed {!failure_reason} and retried under seeded-jittered
+    exponential backoff, within per-reason retry budgets (§2.1, "Handling
+    Noisy Measurements"). A measurement never raises on malformed input:
+    it degrades to an ["unknown"] report carrying the reason chain. *)
+
+type failure_reason =
+  | Trace_truncated
+      (** the capture covers much less of the flow than the sender sent *)
+  | Too_few_oscillations
+      (** the preparation pipeline produced no usable segments *)
+  | Low_confidence  (** classifiers disagreed or abstained *)
+  | Flow_reset  (** the server went silent mid-flow (RST) *)
+  | Timeout  (** the transfer did not finish within the time limit *)
+
+val failure_reason_label : failure_reason -> string
+(** Stable snake_case tag, used in telemetry and CLI diagnostics. *)
+
+type config = {
+  max_attempts : int;  (** measurement attempts before giving up (default 5) *)
+  backoff_base : float;  (** first retry delay, seconds (default 0.5) *)
+  backoff_factor : float;  (** exponential growth per retry (default 2) *)
+  backoff_jitter : float;
+      (** uniform jitter fraction added to each delay, drawn from a
+          substream of the measurement seed (default 0.25) *)
+  retry_budgets : (failure_reason * int) list;
+      (** max retries after each occurrence of a reason; reasons not
+          listed are limited only by [max_attempts] *)
+  sleep : float -> unit;
+      (** invoked with each backoff delay; defaults to [ignore] because
+          the testbed is simulated — a live deployment passes
+          [Unix.sleepf] *)
+}
+
+val default_config : config
+(** The paper's policy: 5 attempts, 0.5 s base delay doubling with 25%
+    jitter, and tight budgets for reasons that indicate a misbehaving
+    server (one retry after a reset or timeout, two after truncation). *)
 
 type report = {
   label : string;  (** final classification, or ["unknown"] *)
-  attempts : int;  (** measurement attempts consumed (1-5) *)
+  attempts : int;  (** measurement attempts consumed *)
   per_profile : (string * string) list;
       (** (profile name, label) for the last attempt *)
+  failures : failure_reason list;
+      (** one reason per failed attempt, oldest first; empty iff the first
+          attempt classified *)
+  backoff_total : float;  (** total backoff delay accrued, seconds *)
 }
-
-val max_attempts : int
 
 val classify_trace :
   ?plugins:Plugin.t list ->
@@ -43,6 +80,8 @@ val measure :
   ?proto:Netsim.Packet.proto ->
   ?page_bytes:int ->
   ?seed:int ->
+  ?config:config ->
+  ?faults:Faults.plan ->
   control:Training.control ->
   make_cca:(Cca.params -> Cca.t) ->
   unit ->
@@ -50,13 +89,17 @@ val measure :
 (** Measure a simulated target server end to end. [telemetry] subscribes to
     {!Obs.Events} for the duration of the call, so every layer's events
     (packet drops, cwnd updates, back-offs, segments, classifier votes,
-    attempts) flow to the callback; the subscription is removed on return. *)
+    attempts, fault injections, retries) flow to the callback; the
+    subscription is removed on return. [faults] forwards a fault plan to
+    every {!Testbed.run} of every attempt. *)
 
 val measure_cca :
   ?plugins:Plugin.t list ->
   ?noise:Netsim.Path.noise ->
   ?proto:Netsim.Packet.proto ->
   ?seed:int ->
+  ?config:config ->
+  ?faults:Faults.plan ->
   control:Training.control ->
   string ->
   report

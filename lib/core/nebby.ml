@@ -22,3 +22,4 @@ module Vivace_classifier = Vivace_classifier
 module Classifier = Classifier
 module Training = Training
 module Measurement = Measurement
+module Chaos = Chaos

@@ -6,11 +6,13 @@ type result = {
   bottleneck_drops : int;
   retransmissions : int;
   cca_name : string;
+  flow_reset : bool;
+  faults_injected : int;
 }
 
 let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
     ?(params = Cca.default_params) ?(page_bytes = Profile.default_page_bytes)
-    ?(time_limit = 60.0) ?ack_every ~profile ~make_cca () =
+    ?(time_limit = 60.0) ?ack_every ?faults ~profile ~make_cca () =
   let sim = Netsim.Sim.create () in
   (* expose the virtual clock before the span opens so "simulate" records a
      virtual duration (the simulated transfer time) next to its wall time *)
@@ -20,6 +22,17 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
   Obs.Span.with_ ~name:"simulate" @@ fun () ->
   let rng = Netsim.Rng.create seed in
   let trace = Netsim.Trace.create () in
+  let injector = Option.map (fun plan -> Faults.injector ~sim plan) faults in
+  (* The capture point may drop or jitter observations under fault plans;
+     without one this is exactly [Trace.record]. *)
+  let record now pkt =
+    match injector with
+    | None -> Netsim.Trace.record trace ~now pkt
+    | Some inj -> (
+      match Faults.observe inj ~now pkt with
+      | Some stamped -> Netsim.Trace.record trace ~now:stamped pkt
+      | None -> ())
+  in
   let cca = make_cca params in
   let ack_every =
     match ack_every with
@@ -50,7 +63,7 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
   in
   let capture_in pkt =
     (* data arriving from the wide area: record, then enqueue at bottleneck *)
-    Netsim.Trace.record trace ~now:(Netsim.Sim.now sim) pkt;
+    record (Netsim.Sim.now sim) pkt;
     Netsim.Link.send bottleneck pkt
   in
   let path_down =
@@ -59,7 +72,7 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
   in
   let capture_out pkt =
     (* acks returning from the client: record, then send over the wide area *)
-    Netsim.Trace.record trace ~now:(Netsim.Sim.now sim) pkt;
+    record (Netsim.Sim.now sim) pkt;
     Netsim.Path.send path_up pkt
   in
   let client_out pkt =
@@ -73,6 +86,12 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
       ~out:(fun pkt -> Netsim.Path.send path_down pkt)
   in
   sender_ref := Some sender;
+  Option.iter
+    (fun inj ->
+      Faults.arm inj ~bottleneck ~wide_area_down:path_down ~wide_area_up:path_up
+        ~stall:(fun ~until -> Transport.Sender.stall sender ~until)
+        ~reset:(fun () -> Transport.Sender.reset sender))
+    injector;
   Transport.Sender.start sender;
   Netsim.Sim.run ~until:time_limit sim;
   {
@@ -84,6 +103,8 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
     bottleneck_drops = Netsim.Link.drops bottleneck;
     retransmissions = Transport.Sender.retransmissions sender;
     cca_name = cca.Cca.name;
+    flow_reset = Transport.Sender.was_reset sender;
+    faults_injected = (match injector with Some inj -> Faults.injected inj | None -> 0);
   }
 
 let run_cca ?seed ?noise ?proto ?page_bytes ?time_limit ~profile name =

@@ -22,6 +22,8 @@ type result = {
   bottleneck_drops : int;
   retransmissions : int;
   cca_name : string;
+  flow_reset : bool;  (** the server reset the flow mid-transfer (faults) *)
+  faults_injected : int;  (** fault activations during the run (0 sans plan) *)
 }
 
 val run :
@@ -32,12 +34,15 @@ val run :
   ?page_bytes:int ->
   ?time_limit:float ->
   ?ack_every:int ->
+  ?faults:Faults.plan ->
   profile:Profile.t ->
   make_cca:(Cca.params -> Cca.t) ->
   unit ->
   result
 (** Defaults: no noise, TCP, default params, the paper's 400 KB page, a
-    60 s wall, acks on every packet (2 for QUIC). *)
+    60 s wall, acks on every packet (2 for QUIC). [faults] injects a
+    seeded fault plan into the topology (see {!Faults}); the capture
+    point, bottleneck, wide-area paths, and sender all honour it. *)
 
 val run_cca :
   ?seed:int ->

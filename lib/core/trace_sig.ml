@@ -36,6 +36,8 @@ let interval_stats = function
     else Some (mean, Sigproc.Series.std arr /. mean)
 
 let probe_spikes (p : Pipeline.t) (seg : Pipeline.segment) =
+  if Array.length seg.values = 0 then []
+  else
   let deriv = Sigproc.Series.derivative ~dt:p.dt seg.values in
   let amp = Float.max 1.0 (seg.raw_max -. seg.raw_min) in
   let level = Float.max seg.raw_max amp in
@@ -52,6 +54,9 @@ let probe_spikes (p : Pipeline.t) (seg : Pipeline.segment) =
   scan 0 (-min_gap) []
 
 let flatness (seg : Pipeline.segment) =
+  (* empty windows happen under capture faults; they are simply not flat *)
+  if Array.length seg.values = 0 then 0.0
+  else
   let m = median seg.values in
   if m <= 0.0 then 0.0
   else begin

@@ -22,6 +22,23 @@ val create :
 val send : t -> Packet.t -> unit
 (** Offer a packet to the link; it is dropped if the buffer is full. *)
 
+val set_rate : t -> float -> unit
+(** Renegotiate the drain rate mid-simulation (bytes per second). Takes
+    effect from the next packet dequeued; non-positive rates are ignored.
+    Models a mid-flow bandwidth renegotiation (e.g. a DOCSIS/LTE rate
+    change). *)
+
+val rate : t -> float
+(** Current drain rate, bytes per second. *)
+
+val set_up : t -> bool -> unit
+(** Take the link down (stop dequeuing; arrivals still queue and overflow
+    into drops) or bring it back up (resume serving the backlog). Models a
+    mid-flow link flap. A packet already being serialized when the link
+    goes down still delivers. *)
+
+val is_up : t -> bool
+
 val queue_bytes : t -> int
 (** Bytes currently waiting (excluding the packet in service). *)
 

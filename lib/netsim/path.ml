@@ -32,6 +32,8 @@ let scale n k =
     ack_compress_delay = n.ack_compress_delay;
   }
 
+type fault_decision = Pass | Fault_drop | Fault_delay of float | Fault_duplicate of float
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -40,12 +42,36 @@ type t = {
   sink : Packet.t -> unit;
   mutable last_delivery : float;
   mutable dropped : int;
+  mutable faulted : int;
+  mutable fault : (now:float -> Packet.t -> fault_decision) option;
 }
 
 let create sim rng ~delay ~noise ~sink =
-  { sim; rng; delay; noise; sink; last_delivery = 0.0; dropped = 0 }
+  {
+    sim;
+    rng;
+    delay;
+    noise;
+    sink;
+    last_delivery = 0.0;
+    dropped = 0;
+    faulted = 0;
+    fault = None;
+  }
+
+let set_fault t f = t.fault <- Some f
+let clear_fault t = t.fault <- None
 
 let send t pkt =
+  let decision =
+    match t.fault with None -> Pass | Some f -> f ~now:(Sim.now t.sim) pkt
+  in
+  (match decision with
+  | Fault_drop | Fault_delay _ | Fault_duplicate _ -> t.faulted <- t.faulted + 1
+  | Pass -> ());
+  match decision with
+  | Fault_drop -> t.dropped <- t.dropped + 1
+  | (Pass | Fault_delay _ | Fault_duplicate _) as decision ->
   if Rng.bool t.rng t.noise.drop_prob then t.dropped <- t.dropped + 1
   else begin
     let jitter =
@@ -64,7 +90,17 @@ let send t pkt =
        wire (a silent gap then a burst). *)
     let delivery = Float.max target t.last_delivery in
     t.last_delivery <- delivery;
-    Sim.at t.sim delivery (fun () -> t.sink pkt)
+    match decision with
+    | Pass | Fault_drop -> Sim.at t.sim delivery (fun () -> t.sink pkt)
+    | Fault_delay extra ->
+      (* The injected hold is NOT folded into [last_delivery]: packets sent
+         afterwards may overtake this one, which is what makes the fault a
+         reordering and not just added latency. *)
+      Sim.at t.sim (delivery +. Float.max 0.0 extra) (fun () -> t.sink pkt)
+    | Fault_duplicate extra ->
+      Sim.at t.sim delivery (fun () -> t.sink pkt);
+      Sim.at t.sim (delivery +. Float.max 0.0 extra) (fun () -> t.sink pkt)
   end
 
 let dropped t = t.dropped
+let faulted t = t.faulted

@@ -25,11 +25,30 @@ val heavy : noise
 val scale : noise -> float -> noise
 (** [scale n k] multiplies every noise magnitude by [k]. *)
 
+type fault_decision =
+  | Pass  (** deliver normally *)
+  | Fault_drop  (** the fault eats the packet *)
+  | Fault_delay of float
+      (** hold the packet this many extra seconds; later packets may
+          overtake it (reordering) *)
+  | Fault_duplicate of float
+      (** deliver normally, plus a copy after this many extra seconds *)
+
 type t
 
 val create :
   Sim.t -> Rng.t -> delay:float -> noise:noise -> sink:(Packet.t -> unit) -> t
 (** [delay] is the one-way propagation delay in seconds. *)
 
+val set_fault : t -> (now:float -> Packet.t -> fault_decision) -> unit
+(** Install a per-packet fault hook, consulted before the built-in noise
+    model on every send. At most one hook is installed; composition of
+    several fault rules happens in the [Faults] library. *)
+
+val clear_fault : t -> unit
+
 val send : t -> Packet.t -> unit
 val dropped : t -> int
+
+val faulted : t -> int
+(** Packets the fault hook acted on (dropped, held, or duplicated). *)

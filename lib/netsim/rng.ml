@@ -17,6 +17,21 @@ let split t =
   let seed = next_raw t in
   { state = seed }
 
+(* FNV-1a over the name, finalized through the splitmix mixer, xored with
+   the parent's *current* state. Crucially the parent stream is not
+   advanced: deriving a named substream never perturbs draws made from the
+   parent, so optional components (fault injection) can fork randomness
+   without changing the base experiment. *)
+let named t name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  let mixed = { state = Int64.logxor t.state !h } in
+  { state = next_raw mixed }
+
 let float t =
   let bits = Int64.shift_right_logical (next_raw t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)

@@ -11,7 +11,16 @@ val create : int -> t
 (** [create seed] makes a generator from a seed. *)
 
 val split : t -> t
-(** [split t] derives a new, statistically independent generator. *)
+(** [split t] derives a new, statistically independent generator. [split]
+    advances the parent stream: the order of splits matters. *)
+
+val named : t -> string -> t
+(** [named t name] derives an independent substream keyed by [name]
+    {e without advancing} the parent stream. Two calls with the same parent
+    state and name yield identical streams; different names yield
+    decorrelated streams. Optional consumers (e.g. fault injection) must
+    use [named] rather than [split] so that enabling them cannot perturb
+    draws made from the parent generator. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -11,6 +11,10 @@ let at t time f =
 
 let after t delay f = at t (t.clock +. delay) f
 
+(* Fault realization computes absolute activation times from user-supplied
+   plans; a time that already passed means "now", not a programming error. *)
+let at_clamped t time f = at t (Float.max time t.clock) f
+
 let run ?until t =
   let horizon = match until with None -> infinity | Some h -> h in
   let executed = ref 0 in

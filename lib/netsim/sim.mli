@@ -19,6 +19,11 @@ val at : t -> float -> (unit -> unit) -> unit
 val after : t -> float -> (unit -> unit) -> unit
 (** [after t delay f] schedules [f] [delay] seconds from now. *)
 
+val at_clamped : t -> float -> (unit -> unit) -> unit
+(** [at_clamped t time f] is [at t time f], except a [time] in the past is
+    clamped to the current clock instead of raising. Used by fault plans
+    whose activation times are user data, not invariants. *)
+
 val run : ?until:float -> t -> unit
 (** Execute events in order. With [until], stop once the next event would
     fire strictly after that time (the clock is then advanced to [until]). *)

@@ -8,8 +8,11 @@ type t =
   | Segment_produced of { start_time : float; duration : float; samples : int }
   | Classifier_vote of { plugin : string; label : string; confidence : float }
   | Attempt_started of { attempt : int }
+  | Attempt_failed of { attempt : int; reason : string }
+  | Retry_backoff of { attempt : int; delay : float; reason : string }
   | Measurement_done of { label : string; attempts : int }
   | Training_run of { cca : string; proto : string; run : int }
+  | Fault_injected of { time : float; fault : string; detail : string }
 
 let kind = function
   | Packet_enqueued _ -> "packet_enqueued"
@@ -21,8 +24,11 @@ let kind = function
   | Segment_produced _ -> "segment_produced"
   | Classifier_vote _ -> "classifier_vote"
   | Attempt_started _ -> "attempt_started"
+  | Attempt_failed _ -> "attempt_failed"
+  | Retry_backoff _ -> "retry_backoff"
   | Measurement_done _ -> "measurement_done"
   | Training_run _ -> "training_run"
+  | Fault_injected _ -> "fault_injected"
 
 let to_json ev =
   let fields =
@@ -47,6 +53,13 @@ let to_json ev =
       [ ("plugin", Json.Str plugin); ("label", Json.Str label);
         ("confidence", Json.Num confidence) ]
     | Attempt_started { attempt } -> [ ("attempt", Json.Num (float_of_int attempt)) ]
+    | Attempt_failed { attempt; reason } ->
+      [ ("attempt", Json.Num (float_of_int attempt)); ("reason", Json.Str reason) ]
+    | Retry_backoff { attempt; delay; reason } ->
+      [ ("attempt", Json.Num (float_of_int attempt)); ("delay", Json.Num delay);
+        ("reason", Json.Str reason) ]
+    | Fault_injected { time; fault; detail } ->
+      [ ("time", Json.Num time); ("fault", Json.Str fault); ("detail", Json.Str detail) ]
     | Measurement_done { label; attempts } ->
       [ ("label", Json.Str label); ("attempts", Json.Num (float_of_int attempts)) ]
     | Training_run { cca; proto; run } ->

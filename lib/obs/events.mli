@@ -25,10 +25,19 @@ type t =
       (** One classifier plugin cast a verdict (classifier layer). *)
   | Attempt_started of { attempt : int }
       (** A measurement attempt began; attempts > 1 are retries. *)
+  | Attempt_failed of { attempt : int; reason : string }
+      (** A measurement attempt ended without a classification; [reason] is
+          the snake_case label of the typed failure reason. *)
+  | Retry_backoff of { attempt : int; delay : float; reason : string }
+      (** The driver backs off [delay] seconds before retrying after
+          [attempt] failed with [reason]. *)
   | Measurement_done of { label : string; attempts : int }
       (** The measurement concluded with [label]. *)
   | Training_run of { cca : string; proto : string; run : int }
       (** One control-measurement training run finished. *)
+  | Fault_injected of { time : float; fault : string; detail : string }
+      (** A fault-injection plan activated [fault] (a family tag) at
+          virtual [time]. *)
 
 val kind : t -> string
 (** Stable snake_case tag, used as the ["kind"] field of the JSONL schema. *)

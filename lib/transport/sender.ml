@@ -38,6 +38,9 @@ type t = {
   (* ground truth *)
   mutable rev_bif : (float * int) list;
   mutable retransmissions : int;
+  (* fault-injection controls *)
+  mutable stalled_until : float;  (* application stall: no sends before this *)
+  mutable dead : bool;  (* mid-flow reset: the connection is gone *)
 }
 
 let create sim ~cca ~proto ~params ~total_bytes ~out =
@@ -69,6 +72,8 @@ let create sim ~cca ~proto ~params ~total_bytes ~out =
     send_scheduled = false;
     rev_bif = [];
     retransmissions = 0;
+    stalled_until = 0.0;
+    dead = false;
   }
 
 let inflight t = t.next_seq - t.snd_una
@@ -76,6 +81,14 @@ let finished t = t.snd_una >= t.total
 let bif_samples t = List.rev t.rev_bif
 let retransmissions t = t.retransmissions
 let bytes_acked t = t.snd_una
+let was_reset t = t.dead
+
+let stall t ~until = t.stalled_until <- Float.max t.stalled_until until
+
+let reset t =
+  t.dead <- true;
+  (* invalidate the pending RTO so the dead sender never wakes up *)
+  t.rto_epoch <- t.rto_epoch + 1
 
 let sample_bif t =
   t.rev_bif <- (Netsim.Sim.now t.sim, inflight t) :: t.rev_bif
@@ -132,7 +145,15 @@ and try_send t =
 
 and send_loop t =
   t.send_scheduled <- false;
+  if t.dead then ()
+  else begin
   let now = Netsim.Sim.now t.sim in
+  if t.stalled_until > now +. 1e-12 then begin
+    (* application stall: park the loop until the stall lifts *)
+    t.send_scheduled <- true;
+    Netsim.Sim.at t.sim t.stalled_until (fun () -> send_loop t)
+  end
+  else begin
   let cwnd = t.cca.Cca.cwnd () in
   let pacing = t.cca.Cca.pacing_rate () in
   let gated_by_pacing = match pacing with Some _ -> t.pacing_next > now +. 1e-12 | None -> false in
@@ -187,6 +208,8 @@ and send_loop t =
       send_loop t
     | Some _ -> () (* window-limited: wait for acks *)
   end
+  end
+  end
 
 (* queue every segment in [snd_una, upto) for retransmission, skipping
    duplicates; [upto <= snd_una] queues just the head segment *)
@@ -229,6 +252,8 @@ let update_rtt t now seg =
   else None
 
 let handle_ack t (pkt : Netsim.Packet.t) =
+  if t.dead then ()
+  else begin
   let now = Netsim.Sim.now t.sim in
   let ack = pkt.ack in
   t.hole_end <- pkt.hole_end;
@@ -307,6 +332,7 @@ let handle_ack t (pkt : Netsim.Packet.t) =
       queue_retx_range t t.hole_end;
       try_send t
     end
+  end
   end
 
 let start t =

@@ -41,3 +41,18 @@ val bif_samples : t -> (float * int) list
 
 val retransmissions : t -> int
 val bytes_acked : t -> int
+
+(** {2 Fault-injection controls}
+
+    Used by the fault-injection harness to model misbehaving servers; both
+    are no-ops for a well-behaved measurement. *)
+
+val stall : t -> until:float -> unit
+(** Application stall: suspend all transmissions (fresh data and repairs)
+    until the given virtual time. Ack processing continues. *)
+
+val reset : t -> unit
+(** Mid-flow reset: the sender goes permanently silent — no further sends,
+    no RTO wakeups, and arriving acks are ignored. *)
+
+val was_reset : t -> bool

@@ -11,4 +11,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("more", Test_more.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -245,7 +245,7 @@ let test_measurement_retries_bounded () =
   in
   Alcotest.(check bool) "attempts within bound" true
     (report.Nebby.Measurement.attempts >= 1
-    && report.Nebby.Measurement.attempts <= Nebby.Measurement.max_attempts)
+    && report.Nebby.Measurement.attempts <= Nebby.Measurement.default_config.max_attempts)
 
 (* ---- training ---- *)
 

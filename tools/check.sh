@@ -20,4 +20,27 @@ fi
 echo "== dune runtest =="
 dune runtest
 
+echo "== chaos smoke (fault injection: no crashes, deterministic) =="
+# A small seeded fault matrix, run twice: any uncaught exception fails via
+# the exit code (3 = internal error), and a diff between the two runs fails
+# on a determinism regression.
+cli=_build/default/bin/nebby_cli.exe
+smoke="--ccas newreno,bbr --families link_flap,burst_loss,truncate_capture,flow_reset \
+  --training-runs 3 --max-attempts 2 --seed 1234"
+tmp1=$(mktemp) tmp2=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2"' EXIT
+"$cli" chaos $smoke >"$tmp1" || {
+  echo "check.sh: chaos smoke exited non-zero" >&2
+  exit 1
+}
+"$cli" chaos $smoke >"$tmp2" || {
+  echo "check.sh: chaos smoke exited non-zero on second run" >&2
+  exit 1
+}
+if ! cmp -s "$tmp1" "$tmp2"; then
+  diff "$tmp1" "$tmp2" || true
+  echo "check.sh: chaos smoke is not deterministic for a fixed seed" >&2
+  exit 1
+fi
+
 echo "check.sh: all green"
