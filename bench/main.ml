@@ -12,8 +12,36 @@
 let sites = ref 250
 let trials = ref 12
 let seed = ref 20230601
+let training_runs = ref None
+let json_out = ref None
+let runtest_s = ref None
 
 let pf = Printf.printf
+
+(* machine-readable results accumulated by experiments and written as a
+   flat JSON object by --json FILE (keys are dotted metric names, values
+   already-rendered JSON literals) *)
+let bench_json : (string * string) list ref = ref []
+let record_json key value = bench_json := (key, value) :: !bench_json
+let record_json_f key v = record_json key (Printf.sprintf "%.6f" v)
+
+let write_json path =
+  let fields =
+    List.rev !bench_json
+    @ (match !runtest_s with
+      | Some s -> [ ("runtest_s", Printf.sprintf "%.3f" s) ]
+      | None -> [])
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" k v
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  pf "\n[bench JSON written to %s]\n" path
 
 let sparkline values =
   let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
@@ -47,7 +75,7 @@ let control =
   lazy
     (pf "[training the classifier (control measurements, both transports) ...]\n%!";
      let before = span_total "train" in
-     let c = Nebby.Training.train ~seed:!seed () in
+     let c = Nebby.Training.train ?runs_per_cca:!training_runs ~seed:!seed () in
      pf "[trained in %.1f s]\n\n%!" (span_total "train" -. before);
      c)
 
@@ -704,6 +732,59 @@ let chaos () =
   pf " typed unknown with a reason chain - the harness never raises]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Engine: multicore census — serial vs parallel, memo cache          *)
+(* ------------------------------------------------------------------ *)
+
+let engine () =
+  header "Engine" "multicore census: serial vs parallel wall-clock, memo cache";
+  let control = Lazy.force control in
+  let region = Internet.Region.Ohio and proto = Netsim.Packet.Tcp in
+  let websites = Internet.Population.generate ~n:!sites ~seed:!seed () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_s =
+    time (fun () -> Internet.Census.run ~jobs:1 ~control ~proto ~region websites)
+  in
+  let jobs = 4 in
+  let parallel, parallel_s =
+    time (fun () -> Internet.Census.run ~jobs ~control ~proto ~region websites)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let speedup = serial_s /. Float.max 1e-9 parallel_s in
+  pf "census over %d sites (%s, %s vantage), %d core(s) available:\n" !sites "tcp"
+    (Internet.Region.name region) cores;
+  pf "  serial   (jobs=1): %7.2f s\n" serial_s;
+  pf "  parallel (jobs=%d): %7.2f s  -> speedup %.2fx\n" jobs parallel_s speedup;
+  if serial <> parallel then failwith "engine: parallel census diverged from serial";
+  pf "  tallies bit-identical across worker counts: yes\n";
+  (* a shared memo makes the second pass over the same sample all hits *)
+  let cache = Internet.Census.create_cache () in
+  let cold, cold_s =
+    time (fun () -> Internet.Census.run ~jobs ~cache ~control ~proto ~region websites)
+  in
+  let warm, warm_s =
+    time (fun () -> Internet.Census.run ~jobs ~cache ~control ~proto ~region websites)
+  in
+  if cold <> serial || warm <> serial then
+    failwith "engine: cached census diverged from serial";
+  pf "  memo cache: cold %.2f s -> warm %.3f s (%d hits / %d misses)\n" cold_s warm_s
+    (Internet.Census.cache_hits cache)
+    (Internet.Census.cache_misses cache);
+  record_json "census_sites" (string_of_int !sites);
+  record_json "cores" (string_of_int cores);
+  record_json "jobs" (string_of_int jobs);
+  record_json_f "census_serial_s" serial_s;
+  record_json_f "census_parallel_s" parallel_s;
+  record_json_f "census_speedup" speedup;
+  record_json_f "census_cache_warm_s" warm_s;
+  record_json "census_cache_hits" (string_of_int (Internet.Census.cache_hits cache));
+  pf "(speedup scales with physical cores; on a single-core host the parallel\n";
+  pf " run only pays the domain bookkeeping, and the memo carries the win)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (--perf)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -785,6 +866,7 @@ let experiments =
     ("table11", table11);
     ("ablation", ablation);
     ("chaos", chaos);
+    ("engine", engine);
   ]
 
 let order = List.mapi (fun i (name, _) -> (name, i)) experiments
@@ -807,6 +889,15 @@ let () =
     | "--full" :: rest ->
       sites := 20_000;
       trials := 100;
+      parse selected rest
+    | "--training-runs" :: n :: rest ->
+      training_runs := Some (int_of_string n);
+      parse selected rest
+    | "--json" :: f :: rest ->
+      json_out := Some f;
+      parse selected rest
+    | "--runtest-s" :: x :: rest ->
+      runtest_s := Some (float_of_string x);
       parse selected rest
     | name :: rest -> parse (name :: selected) rest
   in
@@ -845,5 +936,7 @@ let () =
             (Obs.Metrics.histogram_count h) (Obs.Metrics.histogram_sum h) (p 0.50) (p 0.90)
             (p 0.99))
       [ "train"; "simulate"; "prepare"; "classify" ];
-    pf "\n[all experiments done in %.0f s]\n" (span_total "bench")
+    pf "\n[all experiments done in %.0f s]\n" (span_total "bench");
+    record_json_f "bench_total_s" (span_total "bench");
+    Option.iter write_json !json_out
   end

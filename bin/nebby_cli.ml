@@ -48,6 +48,17 @@ let max_attempts_arg =
     & opt int Nebby.Measurement.default_config.max_attempts
     & info [ "max-attempts" ] ~docv:"N" ~doc)
 
+(* 0 means "auto": one worker per available core, minus one for the
+   collector. Results are bit-identical for every value (see DESIGN.md,
+   "Multicore census engine"), so the flag only changes wall-clock. *)
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel measurement (0 = auto-size to the machine; 1 = serial)."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function 0 -> Engine.Pool.default_jobs () | n -> max 1 n
+
 let train runs = Nebby.Training.train ~runs_per_cca:runs ()
 
 let default_telemetry_file = "nebby-telemetry.jsonl"
@@ -126,7 +137,7 @@ let census_cmd =
   let region_arg =
     Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
   in
-  let run sites region proto seed runs =
+  let run sites region proto seed runs jobs =
     match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
     | None ->
       Printf.eprintf "nebby census: unknown region %s (expected one of %s)\n" region
@@ -135,7 +146,9 @@ let census_cmd =
     | Some region ->
       let control = train runs in
       let websites = Internet.Population.generate ~n:sites ~seed () in
-      let tally = Internet.Census.run ~control ~proto ~region websites in
+      let tally =
+        Internet.Census.run ~jobs:(resolve_jobs jobs) ~control ~proto ~region websites
+      in
       let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
       Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
       List.iter
@@ -147,7 +160,7 @@ let census_cmd =
   in
   let doc = "Run a mini census over the synthetic website population." in
   Cmd.v (Cmd.info "census" ~doc)
-    Term.(const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg)
+    Term.(const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg)
 
 let accuracy_cmd =
   let trials_arg =
@@ -201,8 +214,8 @@ let chaos_cmd =
       & info [ "dump-plans" ]
           ~doc:"Print the seeded fault plans of the suite as JSON and exit.")
   in
-  let run ccas families seed runs max_attempts proto telemetry chrome list_families dump_plans
-      =
+  let run ccas families seed runs max_attempts proto jobs telemetry chrome list_families
+      dump_plans =
     if list_families then begin
       List.iter print_endline Nebby.Chaos.family_names;
       exit_ok
@@ -239,7 +252,8 @@ let chaos_cmd =
         let config = { Nebby.Measurement.default_config with max_attempts } in
         let matrix =
           Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
-              Nebby.Chaos.run_matrix ?ccas ?families ~config ~seed ~proto ~control ())
+              Nebby.Chaos.run_matrix ?ccas ?families ~config ~seed ~proto
+                ~jobs:(resolve_jobs jobs) ~control ())
         in
         print_string (Nebby.Chaos.render matrix);
         Option.iter (Printf.printf "\ntelemetry  : %s\n") telemetry;
@@ -261,7 +275,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ ccas_arg $ families_arg $ seed_arg $ runs_arg $ max_attempts_arg $ proto_arg
-      $ telemetry_arg $ chrome_arg $ list_families_arg $ dump_plans_arg)
+      $ jobs_arg $ telemetry_arg $ chrome_arg $ list_families_arg $ dump_plans_arg)
 
 let stats_cmd =
   let file_arg =

@@ -57,8 +57,14 @@ let row_of family cells =
       /. n;
   }
 
+type cache = (string, Measurement.report) Engine.Memo.t
+
+let create_cache () = Engine.Memo.create ()
+let cache_hits = Engine.Memo.hits
+let cache_misses = Engine.Memo.misses
+
 let run_matrix ?ccas ?families ?(config = Measurement.default_config) ?(seed = 42)
-    ?(proto = Netsim.Packet.Tcp) ~control () =
+    ?(proto = Netsim.Packet.Tcp) ?jobs ?cache ~control () =
   let ccas = match ccas with Some c -> c | None -> Cca.Registry.all in
   let suite = (baseline_family, Faults.empty) :: standard_suite ~seed () in
   let suite =
@@ -67,20 +73,38 @@ let run_matrix ?ccas ?families ?(config = Measurement.default_config) ?(seed = 4
     | Some wanted ->
       List.filter (fun (f, _) -> f = baseline_family || List.mem f wanted) suite
   in
-  let rows =
-    List.map
-      (fun (family, plan) ->
-        let cells =
-          List.mapi
-            (fun i cca ->
-              let report =
-                Measurement.measure_cca ~control ~config ~proto ~faults:plan
-                  ~seed:(seed + (1009 * i)) cca
-              in
-              { cca; family; report; correct = report.Measurement.label = cca })
-            ccas
+  (* one job per matrix cell: every cell's measurement is a pure function
+     of (cca, plan, seed), so the flattened grid parallelizes on the
+     engine and reassembles row by row in suite order *)
+  let measure_cell (family, plan, i, cca) =
+    let run () =
+      Measurement.measure_cca ~control ~config ~proto ~faults:plan ~seed:(seed + (1009 * i))
+        cca
+    in
+    let report =
+      match cache with
+      | None -> run ()
+      | Some memo ->
+        let key =
+          Printf.sprintf "%s|%s|%d|%s|%d|%s" cca family seed
+            (match proto with Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic")
+            config.Measurement.max_attempts (Training.fingerprint control)
         in
-        row_of family cells)
+        Engine.Memo.find_or_compute memo key run
+    in
+    { cca; family; report; correct = report.Measurement.label = cca }
+  in
+  let grid =
+    List.concat_map
+      (fun (family, plan) -> List.mapi (fun i cca -> (family, plan, i, cca)) ccas)
+      suite
+  in
+  let cells = Engine.Pool.map_list ?jobs measure_cell grid in
+  let per_cca = List.length ccas in
+  let rows =
+    List.mapi
+      (fun r (family, _) ->
+        row_of family (List.filteri (fun i _ -> i / per_cca = r) cells))
       suite
   in
   let baseline, fault_rows =

@@ -44,18 +44,35 @@ val family_names : string list
 (** [baseline_family] followed by every family in {!standard_suite},
     in suite order — the vocabulary accepted by [nebby_cli chaos]. *)
 
+type cache
+(** Memo over matrix cells keyed by
+    cca × family × seed × proto × attempt budget × control-version:
+    repeated matrices (regression reruns, widened family selections)
+    skip cells they have already measured. Shareable across worker
+    domains and across {!run_matrix} calls. *)
+
+val create_cache : unit -> cache
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+
 val run_matrix :
   ?ccas:string list ->
   ?families:string list ->
   ?config:Measurement.config ->
   ?seed:int ->
   ?proto:Netsim.Packet.proto ->
+  ?jobs:int ->
+  ?cache:cache ->
   control:Training.control ->
   unit ->
   matrix
 (** Run the matrix: the baseline row plus [families] (default: all) for
-    each of [ccas] (default: the full registry). Deterministic in
-    [seed]. *)
+    each of [ccas] (default: the full registry). Every cell is an
+    independent job on the multicore engine ([jobs] worker domains,
+    default [Engine.Pool.default_jobs ()]); cells are reassembled in
+    suite order, so the matrix is deterministic in [seed] and identical
+    for every worker count. *)
 
 val render : matrix -> string
 (** Fixed-width report: per-family accuracy, degradation versus the

@@ -211,6 +211,54 @@ let train ?(runs_per_cca = 15) ?(quic_runs_per_cca = 8) ?(profiles = Profile.def
 let cached = lazy (train ())
 let default () = Lazy.force cached
 
+(* A content fingerprint of the trained model, for memo-cache keys: two
+   controls that classify identically hash identically, and retraining
+   with different runs/seeds/profiles changes the digest. The scalers and
+   thresholds are a complete proxy for the fitted Gaussians here: they are
+   derived from the same sample statistics the models are. *)
+let fingerprint control =
+  let buf = Buffer.create 4096 in
+  let num x = Buffer.add_string buf (Printf.sprintf "%.17g;" x) in
+  let str s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '|'
+  in
+  let bundle b =
+    Array.iter
+      (fun (mean, std) ->
+        num mean;
+        num std)
+      b.joint_scaler;
+    List.iter
+      (fun (name, threshold) ->
+        str name;
+        num threshold)
+      b.joint_thresholds;
+    List.iter
+      (fun pm ->
+        str pm.profile_name;
+        Array.iter
+          (fun (mean, std) ->
+            num mean;
+            num std)
+          pm.scaler;
+        List.iter
+          (fun (name, threshold) ->
+            str name;
+            num threshold)
+          pm.thresholds)
+      b.per_profile
+  in
+  List.iter (fun (p : Profile.t) -> str p.Profile.name) control.profiles;
+  bundle control.tcp;
+  bundle control.quic;
+  List.iter
+    (fun (name, hist) ->
+      str name;
+      Array.iter (fun c -> num (float_of_int c)) hist)
+    control.degree_hist;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let dominant_degree control cca =
   match List.assoc_opt cca control.degree_hist with
   | None -> 0

@@ -64,6 +64,13 @@ val train :
 val default : unit -> control
 (** Cached deterministic training run used by the default classifier. *)
 
+val fingerprint : control -> string
+(** Stable hex digest of the trained model's content (profile names,
+    scalers, per-class thresholds, degree histograms) — the
+    control-version component of measurement memo-cache keys: retraining
+    with different data changes the digest, re-deriving the same control
+    does not. *)
+
 val apply_scaler : (float * float) array -> float array -> float array
 
 val percentile : float -> float list -> float

@@ -1,0 +1,46 @@
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(size = 256) () =
+  { table = Hashtbl.create size; lock = Mutex.create ();
+    hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key = with_lock t (fun () -> Hashtbl.find_opt t.table key)
+
+let record armed_counter counter =
+  Atomic.incr counter;
+  if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter armed_counter)
+
+let find_or_compute t key f =
+  match find t key with
+  | Some v ->
+    record "engine.memo.hits" t.hits;
+    v
+  | None ->
+    record "engine.memo.misses" t.misses;
+    (* compute outside the lock: a concurrent duplicate computation of a
+       deterministic job costs time, never correctness *)
+    let v = f () in
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some earlier -> earlier (* first insert wins: hits stay byte-identical *)
+        | None ->
+          Hashtbl.replace t.table key v;
+          v)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let clear t =
+  with_lock t (fun () -> Hashtbl.reset t.table);
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

@@ -1,0 +1,35 @@
+(** A keyed, domain-safe memo cache for measurement results.
+
+    Repeated census runs and chaos matrices re-simulate the same
+    (site, proto, region, control) cells; a memo keyed on exactly those
+    coordinates skips the redundant simulations. The cache is shared
+    across worker domains behind a mutex — lookups and inserts are short
+    critical sections, while computations run outside the lock (two
+    workers racing on one cold key may both compute it; with
+    deterministic jobs both arrive at the identical value, so either
+    insert is correct).
+
+    Hit/miss counters make cache behaviour observable: a warm census must
+    show [hits = jobs] and a cold one [misses = jobs]. They are also
+    mirrored to the [engine.memo.hits]/[engine.memo.misses] counters when
+    telemetry is armed. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** An empty cache ([size] is the initial table capacity, default 256). *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t key f] returns the cached value for [key], or runs
+    [f ()] outside the lock, stores, and returns it. The first value
+    stored for a key wins: a cache hit always returns exactly the bytes
+    an earlier cold run produced. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Peek without computing or counting. *)
+
+val hits : _ t -> int
+val misses : _ t -> int
+val length : _ t -> int
+val clear : _ t -> unit
+(** Drop all entries and reset the counters. *)

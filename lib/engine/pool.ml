@@ -1,0 +1,60 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Shard s of n jobs over w workers owns indices { s, s+w, s+2w, ... }:
+   round-robin interleaving keeps shards balanced even when job cost
+   correlates with index (a census sorted by site rank, say). A claim is
+   one fetch-and-add on the shard's cursor; position p maps back to the
+   global index s + p*w. *)
+let shard_size ~n ~workers s = if s >= n then 0 else ((n - s - 1) / workers) + 1
+
+let parallel_map ~workers f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let cursors = Array.init workers (fun _ -> Atomic.make 0) in
+  let steals = Atomic.make 0 in
+  let parent_armed = Obs.Runtime.armed () in
+  let claim s =
+    let pos = Atomic.fetch_and_add cursors.(s) 1 in
+    if pos < shard_size ~n ~workers s then Some (s + (pos * workers)) else None
+  in
+  let run i =
+    match f xs.(i) with
+    | y -> results.(i) <- Some y
+    | exception e -> errors.(i) <- Some e
+  in
+  let worker w () =
+    if parent_armed then Obs.Runtime.arm ();
+    let rec drain s stolen =
+      match claim s with
+      | Some i ->
+        if stolen then Atomic.incr steals;
+        run i;
+        drain s stolen
+      | None -> ()
+    in
+    drain w false;
+    for s = 0 to workers - 1 do
+      if s <> w then drain s true
+    done;
+    (* hand the domain-local telemetry buffer to the collector *)
+    Obs.Metrics.drain ()
+  in
+  let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
+  let buffers = Array.map Domain.join domains in
+  Array.iter Obs.Metrics.absorb buffers;
+  if parent_armed then begin
+    Obs.Metrics.add (Obs.Metrics.counter "engine.pool.jobs") n;
+    Obs.Metrics.add (Obs.Metrics.counter "engine.pool.workers") workers;
+    Obs.Metrics.add (Obs.Metrics.counter "engine.pool.steals") (Atomic.get steals)
+  end;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map (function Some y -> y | None -> assert false) results
+
+let map ?jobs f xs =
+  let n = Array.length xs in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let workers = min jobs n in
+  if workers <= 1 then Array.map f xs else parallel_map ~workers f xs
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

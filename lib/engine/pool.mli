@@ -1,0 +1,39 @@
+(** Multicore work execution on OCaml 5 domains, built for deterministic
+    measurement campaigns.
+
+    A fixed-size pool of worker domains consumes a sharded work queue:
+    job [i] of [n] belongs to shard [i mod workers], each worker drains
+    its own shard first (cheap, contention-free claims on a per-shard
+    atomic cursor) and then steals from the remaining shards, so uneven
+    job costs cannot idle a worker. Results are collected by index, which
+    makes the output array's order {e canonical}: it never depends on the
+    worker count, the scheduling, or completion order.
+
+    Determinism contract: provided [f] derives all randomness from its
+    input (the measurement stack seeds every simulation from the job
+    itself — see [Netsim.Rng]), [map ~jobs:k f xs] returns bit-identical
+    results for every [k]. The engine adds no hidden state of its own.
+
+    Telemetry: when the calling domain is armed ({!Obs.Runtime.armed}),
+    each worker arms its own domain, buffers metrics and span histograms
+    in its domain-local registry while it runs, and the pool flushes every
+    worker's buffer into the caller's registry at join (in worker order,
+    via {!Obs.Metrics.drain}/{!Obs.Metrics.absorb}). The pool itself
+    contributes [engine.pool.jobs], [engine.pool.workers], and
+    [engine.pool.steals] counters. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], floored at 1: leave one
+    core to the collector on multicore hosts, degrade to serial execution
+    on a single core. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element, running up to [jobs]
+    worker domains (default {!default_jobs}; values [<= 1] run serially
+    in the calling domain). The result array preserves input order. If
+    any application raises, every job still runs to completion, worker
+    telemetry is still flushed, and then the exception of the
+    lowest-indexed failing job is re-raised in the caller. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)

@@ -1,7 +1,24 @@
+type cache = (string, string) Engine.Memo.t
+
+let create_cache () = Engine.Memo.create ()
+let cache_hits = Engine.Memo.hits
+let cache_misses = Engine.Memo.misses
+
 let site_seed (site : Website.t) region proto =
   (site.Website.rank * 31)
   + (Region.index region * 7919)
   + (match proto with Netsim.Packet.Tcp -> 0 | Netsim.Packet.Quic -> 104729)
+
+let proto_tag = function Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic"
+
+(* site × proto × region × control-version: everything the classification
+   is a function of. Rank disambiguates name collisions across synthetic
+   populations; the fingerprint invalidates entries when the control
+   measurements are retrained. *)
+let cache_key ~control ~proto ~region (site : Website.t) =
+  Printf.sprintf "%d:%s|%s|%s|%s" site.Website.rank site.Website.name (Region.name region)
+    (proto_tag proto)
+    (Nebby.Training.fingerprint control)
 
 let measure_site ~control ~proto ~region (site : Website.t) =
   match proto with
@@ -23,20 +40,38 @@ let measure_site ~control ~proto ~region (site : Website.t) =
     if report.Nebby.Measurement.label = Nebby.Bbr_classifier.label_unknown_bbr then "bbr3"
     else report.Nebby.Measurement.label
 
-let run ?sites ~control ~proto ~region websites =
-  let selected =
-    match sites with
-    | None -> websites
-    | Some n -> List.filteri (fun i _ -> i < n) websites
+let select sites websites =
+  match sites with
+  | None -> websites
+  | Some n -> List.filteri (fun i _ -> i < n) websites
+
+let labels ?sites ?jobs ?cache ~control ~proto ~region websites =
+  let selected = Array.of_list (select sites websites) in
+  let classify site =
+    match cache with
+    | None -> measure_site ~control ~proto ~region site
+    | Some memo ->
+      Engine.Memo.find_or_compute memo
+        (cache_key ~control ~proto ~region site)
+        (fun () -> measure_site ~control ~proto ~region site)
   in
+  Array.to_list
+    (Engine.Pool.map ?jobs (fun site -> (site, classify site)) selected)
+
+(* The tally is rebuilt from the per-site labels in canonical (population)
+   order, so its contents — including tie order among equal counts — are
+   identical whether the labels came from 1 worker or 8. *)
+let tally_of_labels labeled =
   let tally = Hashtbl.create 16 in
   List.iter
-    (fun site ->
-      let label = measure_site ~control ~proto ~region site in
+    (fun (_, label) ->
       Hashtbl.replace tally label (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
-    selected;
+    labeled;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let run ?sites ?jobs ?cache ~control ~proto ~region websites =
+  tally_of_labels (labels ?sites ?jobs ?cache ~control ~proto ~region websites)
 
 let scale_to ~total tally =
   let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in

@@ -1,5 +1,27 @@
 (** Running Nebby over the website population — the machinery behind the
-    paper's §4.2 (TCP, Table 4) and §4.4 (QUIC, Table 6) census results. *)
+    paper's §4.2 (TCP, Table 4) and §4.4 (QUIC, Table 6) census results.
+
+    The census is the population-scale workload, so it runs on the
+    multicore engine: sites become [(site, region, proto)] jobs on
+    [Engine.Pool]'s sharded queue, every job seeds its own simulation from
+    the site itself ({!measure_site} derives the seed from rank, region,
+    and transport), and the collector reassembles results in canonical
+    population order. Classifications are therefore {e bit-identical} for
+    any worker count — [jobs = 1] and [jobs = 8] produce the same per-site
+    labels and the same tally, ties included. *)
+
+type cache
+(** A memo over classifications keyed by
+    site × proto × region × control-version ([Engine.Memo] under the
+    hood): repeated censuses — re-runs, multi-region sweeps revisiting
+    region-insensitive sites, chaos reruns — skip redundant simulations.
+    Safe to share across worker domains and across {!run} calls; a hit
+    returns byte-identical results to the cold run that populated it. *)
+
+val create_cache : unit -> cache
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
 
 val measure_site :
   control:Nebby.Training.control ->
@@ -12,15 +34,35 @@ val measure_site :
     Google's pre-release deployment), ["unknown"], or ["unresponsive"]
     (QUIC request to a non-QUIC site). *)
 
+val labels :
+  ?sites:int ->
+  ?jobs:int ->
+  ?cache:cache ->
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t list ->
+  (Website.t * string) list
+(** Per-site classifications over the first [sites] websites (default
+    all), in canonical population order, measured by up to [jobs] worker
+    domains (default [Engine.Pool.default_jobs ()]; [1] runs serially in
+    the calling domain). *)
+
+val tally_of_labels : (Website.t * string) list -> (string * int) list
+(** Collapse per-site labels into a (label, count) tally sorted by
+    descending count (ties broken by label, deterministically). *)
+
 val run :
   ?sites:int ->
+  ?jobs:int ->
+  ?cache:cache ->
   control:Nebby.Training.control ->
   proto:Netsim.Packet.proto ->
   region:Region.t ->
   Website.t list ->
   (string * int) list
-(** Tally of classifications over the first [sites] websites (default all),
-    sorted by descending count. *)
+(** Tally of {!labels}, sorted by descending count. Deterministic in the
+    same sense: independent of [jobs] and of cache warmth. *)
 
 val scale_to : total:int -> (string * int) list -> (string * int) list
 (** Rescale a sampled tally so the counts sum to [total] (for comparing a

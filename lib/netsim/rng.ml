@@ -17,6 +17,14 @@ let split t =
   let seed = next_raw t in
   { state = seed }
 
+(* Forked from (seed, index) by two mixing rounds: the first finalizes the
+   campaign seed, the second folds in index * golden_gamma. Mixing (rather
+   than seeding from seed + index) keeps (1, 2) and (2, 1) decorrelated. *)
+let substream ~seed index =
+  let campaign = next_raw { state = Int64.of_int seed } in
+  let keyed = Int64.logxor campaign (Int64.mul golden_gamma (Int64.of_int index)) in
+  { state = next_raw { state = keyed } }
+
 (* FNV-1a over the name, finalized through the splitmix mixer, xored with
    the parent's *current* state. Crucially the parent stream is not
    advanced: deriving a named substream never perturbs draws made from the

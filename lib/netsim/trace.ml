@@ -20,6 +20,7 @@ let record t ~now pkt =
   t.count <- t.count + 1
 
 let observations t = List.rev t.rev_obs
+let of_observations obs = { rev_obs = List.rev obs; count = List.length obs }
 let length t = t.count
 
 let duration t =

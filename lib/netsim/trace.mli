@@ -19,6 +19,11 @@ val record : t -> now:float -> Packet.t -> unit
 val observations : t -> obs list
 (** Observations in capture order. *)
 
+val of_observations : obs list -> t
+(** Rebuild a trace from observations in capture order — the inverse of
+    {!observations}, used to replay serialized captures (golden-trace
+    regression fixtures). *)
+
 val length : t -> int
 val duration : t -> float
 (** Time of last observation minus time of first (0 if fewer than 2). *)

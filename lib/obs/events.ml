@@ -69,21 +69,29 @@ let to_json ev =
 
 type handle = int
 
-let next_handle = ref 0
-let subscribers : (handle * (t -> unit)) list ref = ref []
+(* Subscribers are domain-local: a callback registered on one domain is
+   never invoked from another, so subscribers need no synchronization.
+   Worker domains start with no subscribers; their structured telemetry
+   reaches the collector through the Metrics drain/absorb path instead. *)
+type state = { mutable next_handle : int; mutable subscribers : (handle * (t -> unit)) list }
 
-let active () = !subscribers != []
+let key = Domain.DLS.new_key (fun () -> { next_handle = 0; subscribers = [] })
+let state () = Domain.DLS.get key
+
+let active () = (state ()).subscribers != []
 
 let on f =
-  Stdlib.incr next_handle;
-  let h = !next_handle in
-  subscribers := (h, f) :: !subscribers;
+  let s = state () in
+  s.next_handle <- s.next_handle + 1;
+  let h = s.next_handle in
+  s.subscribers <- (h, f) :: s.subscribers;
   Runtime.arm ();
   h
 
 let off h =
-  let before = List.length !subscribers in
-  subscribers := List.filter (fun (h', _) -> h' <> h) !subscribers;
-  if List.length !subscribers < before then Runtime.disarm ()
+  let s = state () in
+  let before = List.length s.subscribers in
+  s.subscribers <- List.filter (fun (h', _) -> h' <> h) s.subscribers;
+  if List.length s.subscribers < before then Runtime.disarm ()
 
-let emit ev = List.iter (fun (_, f) -> f ev) !subscribers
+let emit ev = List.iter (fun (_, f) -> f ev) (state ()).subscribers

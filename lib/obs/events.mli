@@ -4,7 +4,12 @@
 
     Emission discipline, enforced at every call site: guard with {!active}
     before constructing the event value, so with no subscriber installed the
-    fast path costs one list-head check and allocates nothing. *)
+    fast path costs one list-head check and allocates nothing.
+
+    Subscribers are domain-local: a callback registered on one domain is
+    never invoked from another, so callbacks need no synchronization.
+    Worker domains spawned by [Engine.Pool] start with no subscribers;
+    their aggregate telemetry travels via {!Metrics.drain}. *)
 
 type t =
   | Packet_enqueued of { time : float; size : int; queue_bytes : int }

@@ -18,11 +18,19 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* One registry per domain: worker domains accumulate into their own
+   tables (a per-domain telemetry buffer) and a pool flushes them into the
+   collector's registry at join via [drain]/[absorb]. No lock is ever
+   needed on the hot update path. *)
+let registry_key : (string, metric) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let reset () = Hashtbl.reset registry
+let registry () = Domain.DLS.get registry_key
+
+let reset () = Hashtbl.reset (registry ())
 
 let counter name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
   | Some _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " registered with another type")
@@ -37,6 +45,7 @@ let counter_value c = c.c
 let counter_name c = c.c_name
 
 let gauge name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (Gauge g) -> g
   | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " registered with another type")
@@ -50,6 +59,7 @@ let gauge_value g = g.g
 let gauge_name g = g.g_name
 
 let histogram name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " registered with another type")
@@ -60,7 +70,7 @@ let histogram name =
     h
 
 let find_histogram name =
-  match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None
+  match Hashtbl.find_opt (registry ()) name with Some (Histogram h) -> Some h | _ -> None
 
 (* non-positive and non-finite values all share a dedicated underflow cell *)
 let underflow_cell = min_int
@@ -149,8 +159,36 @@ let snapshot () =
               cells = sorted_cells h }
       in
       s :: acc)
-    registry []
+    (registry ()) []
   |> List.sort (fun a b -> compare (snap_name a) (snap_name b))
+
+let drain () =
+  let snaps = snapshot () in
+  reset ();
+  snaps
+
+(* Merging a histogram snapshot is exact: cell centers map back to the
+   cell they came from ([cell_of (cell_center idx) = idx]), and count,
+   sum, and extrema are carried explicitly. *)
+let absorb snaps =
+  List.iter
+    (function
+      | Counter_snap { name; value } -> add (counter name) value
+      | Gauge_snap { name; value } -> set (gauge name) value
+      | Histogram_snap { name; count; sum; min_v; max_v; cells } ->
+        let h = histogram name in
+        h.n <- h.n + count;
+        h.sum <- h.sum +. sum;
+        if min_v < h.lo then h.lo <- min_v;
+        if max_v > h.hi then h.hi <- max_v;
+        List.iter
+          (fun (center, c) ->
+            let idx = cell_of center in
+            match Hashtbl.find_opt h.cells idx with
+            | Some r -> r := !r + c
+            | None -> Hashtbl.replace h.cells idx (ref c))
+          cells)
+    snaps
 
 let render snaps =
   let buf = Buffer.create 1024 in

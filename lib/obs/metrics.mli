@@ -1,11 +1,14 @@
-(** A process-wide metrics registry: named counters, gauges, and log-linear
+(** A per-domain metrics registry: named counters, gauges, and log-linear
     histograms.
 
     Handles are cheap mutable records; look one up once (by name) and keep
     it. Updates are plain field writes — instrumented hot paths guard on
-    {!Runtime.armed} so a disabled run never touches the registry. The
-    registry is global and survives across runs; {!reset} clears it (tests,
-    fresh experiment batches). *)
+    {!Runtime.armed} so a disabled run never touches the registry. Each
+    domain owns an independent registry (handles are domain-local: never
+    share one across domains); worker domains act as telemetry buffers
+    whose contents a pool {!drain}s at join and {!absorb}s into the
+    collector's registry. Within one domain the registry survives across
+    runs; {!reset} clears it (tests, fresh experiment batches). *)
 
 type counter
 type gauge
@@ -58,7 +61,18 @@ type snap =
     }
 
 val snapshot : unit -> snap list
-(** All registered metrics, sorted by name. *)
+(** All metrics registered on this domain, sorted by name. *)
+
+val drain : unit -> snap list
+(** {!snapshot} followed by {!reset}: empty this domain's registry and
+    return its contents. Called by a worker domain just before it joins,
+    so its buffered telemetry can travel to the collector. *)
+
+val absorb : snap list -> unit
+(** Merge drained snapshots into this domain's registry: counters add,
+    gauges take the absorbed value, histograms merge exactly (cell
+    centers map back onto their original cells, and count/sum/extrema are
+    carried explicitly — absorbing is lossless). *)
 
 val snap_name : snap -> string
 

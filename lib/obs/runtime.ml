@@ -1,13 +1,23 @@
-let armed_count = ref 0
-let armed () = !armed_count > 0
-let arm () = incr armed_count
-let disarm () = if !armed_count > 0 then decr armed_count
+(* All runtime state is domain-local: each domain owns its own armed count
+   and virtual-clock provider, so simulations running concurrently on
+   worker domains can install their clocks and record telemetry without
+   racing. A freshly spawned domain starts disarmed; pools that want worker
+   telemetry arm inside the worker (see Engine.Pool). *)
+type state = { mutable armed_count : int; mutable vclock : (unit -> float) option }
 
-let vclock : (unit -> float) option ref = ref None
-let set_virtual_clock p = vclock := p
-let virtual_clock () = !vclock
+let key = Domain.DLS.new_key (fun () -> { armed_count = 0; vclock = None })
+let state () = Domain.DLS.get key
 
-let virtual_now () = match !vclock with None -> None | Some f -> Some (f ())
+let armed () = (state ()).armed_count > 0
+let arm () = (state ()).armed_count <- (state ()).armed_count + 1
+
+let disarm () =
+  let s = state () in
+  if s.armed_count > 0 then s.armed_count <- s.armed_count - 1
+
+let set_virtual_clock p = (state ()).vclock <- p
+let virtual_clock () = (state ()).vclock
+let virtual_now () = match (state ()).vclock with None -> None | Some f -> Some (f ())
 
 let with_armed f =
   arm ();

@@ -1,13 +1,21 @@
-(** The global telemetry switch and the virtual-clock provider.
+(** The telemetry switch and the virtual-clock provider.
 
     Instrumented code guards every recording action on {!armed}; when
-    nothing has armed the runtime the fast path is a single int-ref read
+    nothing has armed the runtime the fast path is a single field read
     and no closure or event value is allocated. Arming is counted, so
     independent sinks (a JSONL writer, the bench collector, a test
-    subscriber) can overlap safely. *)
+    subscriber) can overlap safely.
+
+    All state is {e domain-local}: each domain owns its own armed count
+    and virtual clock, so concurrent simulations on worker domains never
+    race on shared telemetry state. A freshly spawned domain starts
+    disarmed; a pool that wants worker telemetry arms inside the worker
+    and flushes the worker's domain-local metrics at join (see
+    [Engine.Pool] and {!Metrics.drain}). *)
 
 val armed : unit -> bool
-(** True when at least one consumer wants telemetry recorded. *)
+(** True when at least one consumer on this domain wants telemetry
+    recorded. *)
 
 val arm : unit -> unit
 val disarm : unit -> unit
@@ -17,7 +25,8 @@ val with_armed : (unit -> 'a) -> 'a
 
 val set_virtual_clock : (unit -> float) option -> unit
 (** Installed by simulation drivers ([Netsim.Sim.run]) so spans opened
-    inside simulated code also record virtual durations. *)
+    inside simulated code also record virtual durations. Domain-local:
+    a worker's simulation clock is invisible to every other domain. *)
 
 val virtual_clock : unit -> (unit -> float) option
 val virtual_now : unit -> float option

@@ -12,28 +12,41 @@ type completed = {
 
 type handle = int
 
-let next_id = ref 0
-let next_handle = ref 0
-let subscribers : (handle * (completed -> unit)) list ref = ref []
+(* Per-domain tracing state: ids, subscribers, and the open-span stack are
+   all domain-local, so concurrent workers each trace their own thread of
+   execution without synchronization. Span ids are only unique within a
+   domain, which is exactly the scope in which parent links are emitted. *)
+type state = {
+  mutable next_id : int;
+  mutable next_handle : int;
+  mutable subscribers : (handle * (completed -> unit)) list;
+  mutable stack : (int * string) list;  (** innermost open span first *)
+}
 
-(* the thread of execution: innermost open span first *)
-let stack : (int * string) list ref = ref []
+let key =
+  Domain.DLS.new_key (fun () ->
+      { next_id = 0; next_handle = 0; subscribers = []; stack = [] })
+
+let state () = Domain.DLS.get key
 
 let on_complete f =
-  incr next_handle;
-  let h = !next_handle in
-  subscribers := (h, f) :: !subscribers;
+  let s = state () in
+  s.next_handle <- s.next_handle + 1;
+  let h = s.next_handle in
+  s.subscribers <- (h, f) :: s.subscribers;
   Runtime.arm ();
   h
 
 let off h =
-  let before = List.length !subscribers in
-  subscribers := List.filter (fun (h', _) -> h' <> h) !subscribers;
-  if List.length !subscribers < before then Runtime.disarm ()
+  let s = state () in
+  let before = List.length s.subscribers in
+  s.subscribers <- List.filter (fun (h', _) -> h' <> h) s.subscribers;
+  if List.length s.subscribers < before then Runtime.disarm ()
 
 let duration_histogram name = Metrics.histogram ("span." ^ name)
 
 let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
+  let s = state () in
   let wall_stop = Unix.gettimeofday () in
   let virt_stop = Runtime.virtual_now () in
   (* pop our frame; defensively drop any frames an escaping exception left
@@ -43,7 +56,7 @@ let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
     | _ :: rest -> pop rest
     | [] -> []
   in
-  stack := pop !stack;
+  s.stack <- pop s.stack;
   Metrics.observe (duration_histogram name) (wall_stop -. wall_start);
   (match (virt_start, virt_stop) with
   | Some v0, Some v1 when v1 >= v0 -> Metrics.observe (duration_histogram ("virt." ^ name)) (v1 -. v0)
@@ -51,16 +64,17 @@ let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
   let c =
     { id; parent_id; name; depth; wall_start; wall_stop; virt_start; virt_stop; raised }
   in
-  List.iter (fun (_, f) -> f c) !subscribers
+  List.iter (fun (_, f) -> f c) s.subscribers
 
 let with_ ~name f =
   if not (Runtime.armed ()) then f ()
   else begin
-    incr next_id;
-    let id = !next_id in
-    let parent_id = match !stack with [] -> None | (pid, _) :: _ -> Some pid in
-    let depth = List.length !stack in
-    stack := (id, name) :: !stack;
+    let s = state () in
+    s.next_id <- s.next_id + 1;
+    let id = s.next_id in
+    let parent_id = match s.stack with [] -> None | (pid, _) :: _ -> Some pid in
+    let depth = List.length s.stack in
+    s.stack <- (id, name) :: s.stack;
     let wall_start = Unix.gettimeofday () in
     let virt_start = Runtime.virtual_now () in
     match f () with

@@ -7,8 +7,14 @@
     ["span.virt.<name>"] for virtual time), so per-stage breakdowns need no
     extra bookkeeping.
 
-    When the runtime is not armed, [with_] is [f ()]: one ref read, no
-    allocation, no clock syscall. *)
+    When the runtime is not armed, [with_] is [f ()]: one field read, no
+    allocation, no clock syscall.
+
+    All tracing state (ids, the open-span stack, subscribers) is
+    domain-local: concurrent workers trace independently, and span ids are
+    unique within a domain — the scope in which parent links are emitted.
+    A worker's span durations reach the collector through the
+    {!Metrics.drain}/{!Metrics.absorb} histogram path. *)
 
 type completed = {
   id : int;

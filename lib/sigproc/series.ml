@@ -56,11 +56,29 @@ let mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
-let std xs =
+let variance xs =
   let n = Array.length xs in
   if n < 2 then 0.0
   else begin
     let m = mean xs in
     let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
-    sqrt (acc /. float_of_int n)
+    (* the sum of squares cannot be negative, but rounding on
+       near-constant data can produce a tiny negative accumulation *)
+    Float.max 0.0 (acc /. float_of_int n)
+  end
+
+let std xs = sqrt (variance xs)
+
+let quantile q xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float pos in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end

@@ -24,6 +24,17 @@ val sample_uniform : n:int -> float array -> float array
     linear interpolation (paper §3.4 step 3 uses n = 200). *)
 
 val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance; never negative (clamped against rounding), 0 for
+    fewer than 2 samples. *)
+
 val std : float array -> float
+(** [sqrt (variance xs)]. *)
+
+val quantile : float -> float array -> float
+(** [quantile q xs] for [q] in [\[0, 1\]] (clamped), linearly interpolated
+    between order statistics; [nan] on empty input. Monotone in [q]. *)
+
 val minimum : float array -> float
 val maximum : float array -> float

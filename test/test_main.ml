@@ -12,4 +12,6 @@ let () =
       ("more", Test_more.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("engine", Test_engine.suite);
+      ("golden", Test_golden.suite);
     ]

@@ -153,6 +153,83 @@ let test_erf_known_values () =
   Alcotest.(check bool) "erf is odd" true
     (Float.abs (Sigproc.Stats.erf (-1.0) +. Sigproc.Stats.erf 1.0) < 1e-9)
 
+(* ---- seeded property sweeps ----
+
+   Deterministic counterparts of the QCheck properties above: cases are
+   drawn from Netsim.Rng at fixed seeds, so a failure always reproduces
+   bit-for-bit (no shrinking needed — the failing case prints its index). *)
+
+let property_cases = 100
+
+let prop_seeded_fft_roundtrip () =
+  let rng = Netsim.Rng.create 1301 in
+  for case = 1 to property_cases do
+    let n = 16 lsl Netsim.Rng.int rng 5 (* 16..256, powers of 2 *) in
+    let xs = Array.init n (fun _ -> Netsim.Rng.uniform rng (-100.0) 100.0) in
+    let real = Array.copy xs and imag = Array.make n 0.0 in
+    Sigproc.Fft.transform ~real ~imag;
+    Sigproc.Fft.inverse ~real ~imag;
+    Array.iteri
+      (fun i x ->
+        if Float.abs (x -. xs.(i)) > 1e-6 then
+          Alcotest.fail
+            (Printf.sprintf "case %d (n=%d): sample %d drifted by %g" case n i
+               (Float.abs (x -. xs.(i)))))
+      real
+  done
+
+let prop_seeded_polyfit_planted () =
+  let rng = Netsim.Rng.create 1303 in
+  for case = 1 to property_cases do
+    let degree = 1 + Netsim.Rng.int rng 3 in
+    let planted =
+      Array.init (degree + 1) (fun _ -> Netsim.Rng.uniform rng (-5.0) 5.0)
+    in
+    let xs = Array.init 60 (fun i -> float_of_int i /. 59.0) in
+    let ys = Array.map (Sigproc.Polyfit.eval planted) xs in
+    let fit = Sigproc.Polyfit.fit ~degree ~xs ~ys in
+    Array.iteri
+      (fun i c ->
+        if Float.abs (c -. planted.(i)) > 1e-5 then
+          Alcotest.fail
+            (Printf.sprintf "case %d (degree %d): coefficient %d: planted %g, fitted %g" case
+               degree i planted.(i) c))
+      fit
+  done
+
+let prop_seeded_stats_invariants () =
+  let rng = Netsim.Rng.create 1307 in
+  for case = 1 to property_cases do
+    let n = 2 + Netsim.Rng.int rng 100 in
+    (* mix wide uniforms with near-constant data, the rounding-hazard case
+       for the variance *)
+    let base = Netsim.Rng.uniform rng (-1e6) 1e6 in
+    let spread = if case mod 4 = 0 then 1e-9 else Float.abs base +. 1.0 in
+    let xs =
+      Array.init n (fun _ -> base +. Netsim.Rng.uniform rng (-.spread) spread)
+    in
+    let var = Sigproc.Series.variance xs in
+    if not (var >= 0.0) then
+      Alcotest.fail (Printf.sprintf "case %d: variance %g < 0" case var);
+    let std = Sigproc.Series.std xs in
+    if Float.abs ((std *. std) -. var) > 1e-9 *. Float.max 1.0 var then
+      Alcotest.fail (Printf.sprintf "case %d: std^2 = %g but variance = %g" case (std *. std) var);
+    (* quantiles: monotone in q, bounded by the extremes, median between *)
+    let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ] in
+    let values = List.map (fun q -> Sigproc.Series.quantile q xs) qs in
+    let rec check_monotone = function
+      | a :: (b :: _ as rest) ->
+        if a > b then Alcotest.fail (Printf.sprintf "case %d: quantiles not monotone" case);
+        check_monotone rest
+      | _ -> ()
+    in
+    check_monotone values;
+    if Sigproc.Series.quantile 0.0 xs <> Sigproc.Series.minimum xs then
+      Alcotest.fail (Printf.sprintf "case %d: quantile 0 is not the minimum" case);
+    if Sigproc.Series.quantile 1.0 xs <> Sigproc.Series.maximum xs then
+      Alcotest.fail (Printf.sprintf "case %d: quantile 1 is not the maximum" case)
+  done
+
 (* ---- GNB ---- *)
 
 let test_gnb_separable () =
@@ -209,6 +286,12 @@ let suite =
     Alcotest.test_case "uniform sampling keeps endpoints" `Quick test_sample_uniform_endpoints;
     Alcotest.test_case "derivative of a line is its slope" `Quick test_derivative_linear;
     QCheck_alcotest.to_alcotest prop_normalize_bounds;
+    Alcotest.test_case "seeded sweep: fft roundtrip over random signals" `Quick
+      prop_seeded_fft_roundtrip;
+    Alcotest.test_case "seeded sweep: polyfit recovers planted polynomials" `Quick
+      prop_seeded_polyfit_planted;
+    Alcotest.test_case "seeded sweep: variance and quantile invariants" `Quick
+      prop_seeded_stats_invariants;
     Alcotest.test_case "normality tests accept gaussians" `Quick test_normality_accepts_gaussian;
     Alcotest.test_case "normality tests reject bimodal data" `Quick test_normality_rejects_bimodal;
     Alcotest.test_case "skewness of symmetric data is small" `Quick test_skewness_symmetric;

@@ -18,7 +18,12 @@ if [ -n "$out" ]; then
 fi
 
 echo "== dune runtest =="
+# Wall-clock of the whole suite is wired into the bench JSON below, so a
+# test-time regression is visible next to the census timings.
+runtest_start=$(date +%s)
 dune runtest
+runtest_s=$(( $(date +%s) - runtest_start ))
+echo "(test suite took ${runtest_s}s)"
 
 echo "== chaos smoke (fault injection: no crashes, deterministic) =="
 # A small seeded fault matrix, run twice: any uncaught exception fails via
@@ -42,5 +47,40 @@ if ! cmp -s "$tmp1" "$tmp2"; then
   echo "check.sh: chaos smoke is not deterministic for a fixed seed" >&2
   exit 1
 fi
+
+echo "== census par-smoke (jobs=4 must match jobs=1 exactly) =="
+# The engine's determinism contract, end to end through the CLI: a
+# parallel census must be byte-identical to the serial one.
+census="--sites 32 --training-runs 3 --seed 1234"
+"$cli" census $census --jobs 1 >"$tmp1" || {
+  echo "check.sh: serial census smoke exited non-zero" >&2
+  exit 1
+}
+"$cli" census $census --jobs 4 >"$tmp2" || {
+  echo "check.sh: parallel census smoke exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$tmp1" "$tmp2"; then
+  diff "$tmp1" "$tmp2" || true
+  echo "check.sh: census --jobs 4 diverged from --jobs 1" >&2
+  exit 1
+fi
+
+echo "== golden fixtures regenerate bit-identically =="
+# Drift caught here and not by test_golden means gen_golden and the test
+# disagree about the pinned configuration; drift caught by both means the
+# pipeline's numerics changed (regenerate and review the diff if it is
+# intentional).
+golden_tmp=$(mktemp -d)
+trap 'rm -f "$tmp1" "$tmp2"; rm -rf "$golden_tmp"' EXIT
+dune exec tools/gen_golden.exe -- "$golden_tmp" >/dev/null
+if ! diff -r test/golden "$golden_tmp"; then
+  echo "check.sh: golden fixtures are stale (dune exec tools/gen_golden.exe)" >&2
+  exit 1
+fi
+
+echo "== bench engine (census serial vs parallel, bench.json) =="
+dune exec bench/main.exe -- engine --sites 16 --training-runs 3 \
+  --json bench.json --runtest-s "$runtest_s"
 
 echo "check.sh: all green"

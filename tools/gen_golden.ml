@@ -1,0 +1,107 @@
+(* Golden-trace fixture generator.
+
+   Emits one JSON fixture per registered CCA into test/golden/ (or the
+   directory given as the first argument): the packet-level capture of one
+   measurement per network profile at a pinned seed, plus the feature
+   vector and label the current pipeline derives from it. test_golden.ml
+   replays the serialized captures through Bif -> Pipeline -> Features ->
+   Classifier and fails on any numeric drift beyond 1e-9.
+
+   Regeneration is bit-identical (tools/check.sh relies on this):
+
+     dune exec tools/gen_golden.exe            # rewrite test/golden/
+     dune exec tools/gen_golden.exe -- DIR     # write elsewhere (regen diff)
+
+   Regenerate (and review the diff!) only when the pipeline's numerics
+   change on purpose. *)
+
+(* Pinned fixture configuration - keep in sync with test/test_golden.ml. *)
+let golden_seed = 7
+let training_runs_per_cca = 4
+let training_quic_runs_per_cca = 2
+
+let json_of_obs (o : Netsim.Trace.obs) =
+  let open Obs.Json in
+  let dir = match o.dir with Netsim.Packet.To_client -> 0.0 | To_server -> 1.0 in
+  let base = [ Num o.time; Num dir; Num (float_of_int o.size) ] in
+  match o.view with
+  | Netsim.Trace.Opaque -> Arr base
+  | Netsim.Trace.Tcp_view { seq; payload; ack; is_ack } ->
+    Arr
+      (base
+      @ [
+          Num (float_of_int seq);
+          Num (float_of_int payload);
+          Num (float_of_int ack);
+          Num (if is_ack then 1.0 else 0.0);
+        ])
+
+let fixture_of_cca ~control cca =
+  let open Obs.Json in
+  let per_profile =
+    List.map
+      (fun profile ->
+        let result = Nebby.Testbed.run_cca ~profile ~seed:golden_seed cca in
+        let obs = Netsim.Trace.observations result.Nebby.Testbed.trace in
+        let bif = Nebby.Bif.estimate result.Nebby.Testbed.trace in
+        let prepared = Nebby.Pipeline.prepare ~rtt:(Nebby.Profile.rtt profile) bif in
+        (profile, obs, prepared))
+      Nebby.Profile.default_pair
+  in
+  let outcome, _ =
+    Nebby.Classifier.classify_measurement ~control
+      (List.map (fun (p, _, prep) -> (p.Nebby.Profile.name, prep)) per_profile)
+  in
+  let label = Nebby.Classifier.outcome_label outcome in
+  ( label,
+    Obj
+      [
+        ("cca", Str cca);
+        ("seed", Num (float_of_int golden_seed));
+        ("proto", Str "tcp");
+        ( "training",
+          Obj
+            [
+              ("runs_per_cca", Num (float_of_int training_runs_per_cca));
+              ("quic_runs_per_cca", Num (float_of_int training_quic_runs_per_cca));
+              ("seed", Num (float_of_int golden_seed));
+            ] );
+        ("expected_label", Str label);
+        ( "traces",
+          Arr
+            (List.map
+               (fun (profile, obs, prepared) ->
+                 let vector =
+                   match Nebby.Features.trace_vector prepared with
+                   | None -> Null
+                   | Some v -> Arr (Array.to_list (Array.map (fun x -> Num x) v))
+                 in
+                 Obj
+                   [
+                     ("profile", Str profile.Nebby.Profile.name);
+                     ("rtt", Num (Nebby.Profile.rtt profile));
+                     ("vector", vector);
+                     ("obs", Arr (List.map json_of_obs obs));
+                   ])
+               per_profile) );
+      ] )
+
+let () =
+  let out_dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
+  Printf.printf "[training the control: %d tcp / %d quic runs per CCA, seed %d]\n%!"
+    training_runs_per_cca training_quic_runs_per_cca golden_seed;
+  let control =
+    Nebby.Training.train ~runs_per_cca:training_runs_per_cca
+      ~quic_runs_per_cca:training_quic_runs_per_cca ~seed:golden_seed ()
+  in
+  List.iter
+    (fun cca ->
+      let label, json = fixture_of_cca ~control cca in
+      let path = Filename.concat out_dir (cca ^ ".json") in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %-28s (label %s)\n%!" path label)
+    Cca.Registry.all
