@@ -16,6 +16,13 @@ let training_runs = ref None
 let json_out = ref None
 let runtest_s = ref None
 
+(* perf-regression ledger: --baseline writes BENCH_<date>.json and compares
+   the guarded hot-path metrics against a committed baseline file, exiting
+   nonzero when any of them slows down by more than --tolerance *)
+let baseline_mode = ref false
+let tolerance = ref 0.25
+let baseline_file = ref "BENCH_baseline.json"
+
 let pf = Printf.printf
 
 (* machine-readable results accumulated by experiments and written as a
@@ -42,6 +49,60 @@ let write_json path =
   output_string oc "}\n";
   close_out oc;
   pf "\n[bench JSON written to %s]\n" path
+
+let date_stamp () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+(* the hot-path metrics the ledger guards; everything else in the JSON is
+   informational *)
+let guarded_metrics = [ "census_serial_s"; "census_parallel_s" ]
+
+let read_json_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Obs.Json.of_string s
+
+let check_baseline current_path =
+  if not (Sys.file_exists !baseline_file) then begin
+    pf "[no %s found: baseline gate skipped - commit %s as %s to arm it]\n" !baseline_file
+      current_path !baseline_file;
+    0
+  end
+  else begin
+    let baseline = read_json_file !baseline_file in
+    let current = read_json_file current_path in
+    let lookup json key = Option.bind (Obs.Json.member key json) Obs.Json.to_float in
+    let failures =
+      List.filter_map
+        (fun key ->
+          match (lookup baseline key, lookup current key) with
+          | Some base, Some cur when base > 0.0 ->
+            let ratio = cur /. base in
+            let regressed = ratio > 1.0 +. !tolerance in
+            pf "  %-24s baseline %8.3f s  current %8.3f s  ratio %.2fx%s\n" key base cur
+              ratio
+              (if regressed then "  << REGRESSION" else "");
+            if regressed then Some key else None
+          | _ ->
+            pf "  %-24s missing in baseline or current run - skipped\n" key;
+            None)
+        guarded_metrics
+    in
+    if failures = [] then begin
+      pf "[baseline gate: ok (tolerance %.0f%%)]\n" (100.0 *. !tolerance);
+      0
+    end
+    else begin
+      pf "[baseline gate: FAILED - %s regressed by more than %.0f%% vs %s]\n"
+        (String.concat ", " failures)
+        (100.0 *. !tolerance)
+        !baseline_file;
+      1
+    end
+  end
 
 let sparkline values =
   let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
@@ -773,6 +834,33 @@ let engine () =
   pf "  memo cache: cold %.2f s -> warm %.3f s (%d hits / %d misses)\n" cold_s warm_s
     (Internet.Census.cache_hits cache)
     (Internet.Census.cache_misses cache);
+  (* decision-provenance overhead: the same census with verdict-report
+     construction on. Both runs go through the per-stage profiler (worker
+     profiles are merged into the caller's at join) so the comparison is
+     symmetric and the wall clocks carry identical instrumentation. *)
+  let (labels_only, _), labels_s =
+    time (fun () ->
+        Obs.Prof.record (fun () ->
+            Internet.Census.labels ~jobs ~control ~proto ~region websites))
+  in
+  let (explained, explained_profile), explained_s =
+    time (fun () ->
+        Obs.Prof.record (fun () ->
+            Internet.Census.explained ~jobs ~control ~proto ~region websites))
+  in
+  if
+    List.map (fun (s, l) -> (s.Internet.Website.name, l)) labels_only
+    <> List.map
+         (fun (s, r) -> (s.Internet.Website.name, r.Nebby.Measurement.label))
+         explained
+  then failwith "engine: explained census diverged from the label-only census";
+  let overhead = (explained_s -. labels_s) /. Float.max 1e-9 labels_s in
+  pf "  provenance: labels-only %.2f s -> explained %.2f s (overhead %+.1f%%)\n" labels_s
+    explained_s (100.0 *. overhead);
+  pf "%s" (Obs.Prof.render explained_profile);
+  record_json_f "census_labels_s" labels_s;
+  record_json_f "census_explained_s" explained_s;
+  record_json_f "census_provenance_overhead_frac" overhead;
   record_json "census_sites" (string_of_int !sites);
   record_json "cores" (string_of_int cores);
   record_json "jobs" (string_of_int jobs);
@@ -899,6 +987,15 @@ let () =
     | "--runtest-s" :: x :: rest ->
       runtest_s := Some (float_of_string x);
       parse selected rest
+    | "--baseline" :: rest ->
+      baseline_mode := true;
+      parse selected rest
+    | "--tolerance" :: x :: rest ->
+      tolerance := float_of_string x;
+      parse selected rest
+    | "--baseline-file" :: f :: rest ->
+      baseline_file := f;
+      parse selected rest
     | name :: rest -> parse (name :: selected) rest
   in
   let selected = parse [] args in
@@ -938,5 +1035,11 @@ let () =
       [ "train"; "simulate"; "prepare"; "classify" ];
     pf "\n[all experiments done in %.0f s]\n" (span_total "bench");
     record_json_f "bench_total_s" (span_total "bench");
-    Option.iter write_json !json_out
+    Option.iter write_json !json_out;
+    if !baseline_mode then begin
+      let current = Printf.sprintf "BENCH_%s.json" (date_stamp ()) in
+      write_json current;
+      pf "\n[baseline gate: %s vs %s]\n" current !baseline_file;
+      exit (check_baseline current)
+    end
   end

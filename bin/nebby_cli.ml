@@ -79,6 +79,55 @@ let chrome_arg =
   in
   Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
 
+let provenance_arg =
+  let doc =
+    "Write decision-provenance verdict reports as JSONL to $(docv); re-read them with \
+     $(b,nebby explain) $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "provenance" ] ~docv:"FILE" ~doc)
+
+let prof_folded_arg =
+  let doc =
+    "Write a folded-stack profile of the run to $(docv) (flamegraph.pl / \
+     inferno-flamegraph input: one $(i,stack self-microseconds) line per stage)."
+  in
+  Arg.(value & opt (some string) None & info [ "prof-folded" ] ~docv:"FILE" ~doc)
+
+let prof_json_arg =
+  let doc =
+    "Write the per-stage profiler summary (calls, wall and self time, allocation, major \
+     GC collections) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "prof-json" ] ~docv:"FILE" ~doc)
+
+let prof_table_arg =
+  Arg.(
+    value & flag
+    & info [ "prof" ] ~doc:"Print the per-stage profiler table after the run.")
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+(* Wrap a run in the profiler when any profiler output was requested. *)
+let with_profiling ~prof ~folded ~json f =
+  if not (prof || folded <> None || json <> None) then f ()
+  else begin
+    let result, profile = Obs.Prof.record f in
+    Option.iter (fun path -> write_file path (Obs.Prof.folded profile)) folded;
+    Option.iter
+      (fun path -> write_file path (Obs.Json.to_string (Obs.Prof.to_json profile) ^ "\n"))
+      json;
+    if prof then print_string (Obs.Prof.render profile);
+    result
+  end
+
+let write_provenance_jsonl path reports =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (Obs.Provenance.write_jsonl oc) reports)
+
 let print_failure_chain (report : Nebby.Measurement.report) =
   Printf.eprintf "nebby: classification failed after %d attempt%s; reason chain: %s\n"
     report.attempts
@@ -87,14 +136,16 @@ let print_failure_chain (report : Nebby.Measurement.report) =
        (List.map Nebby.Measurement.failure_reason_label report.failures))
 
 let measure_cmd =
-  let run cca proto noise seed runs max_attempts telemetry chrome =
+  let run cca proto noise seed runs max_attempts telemetry chrome provenance prof folded
+      prof_json =
     let control = train runs in
     let plugins = Nebby.Classifier.extended_plugins control in
     let config = { Nebby.Measurement.default_config with max_attempts } in
     let report =
-      Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
-          Nebby.Measurement.measure ~control ~plugins ~proto ~noise ~seed ~config
-            ~make_cca:(Cca.Registry.create cca) ())
+      with_profiling ~prof ~folded ~json:prof_json (fun () ->
+          Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
+              Nebby.Measurement.measure ~control ~plugins ~proto ~noise ~seed ~config
+                ~subject:cca ~make_cca:(Cca.Registry.create cca) ()))
     in
     Printf.printf "target CCA : %s\n" cca;
     Printf.printf "classified : %s (after %d attempt%s)\n" report.Nebby.Measurement.label
@@ -103,6 +154,14 @@ let measure_cmd =
     List.iter (fun (p, l) -> Printf.printf "  profile %-16s -> %s\n" p l) report.per_profile;
     Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
     Option.iter (Printf.printf "chrome trace: %s\n") chrome;
+    Option.iter
+      (fun path ->
+        match report.Nebby.Measurement.provenance with
+        | Some p ->
+          write_provenance_jsonl path [ p ];
+          Printf.printf "provenance : %s\n" path
+        | None -> Printf.eprintf "nebby measure: no verdict report was produced\n")
+      provenance;
     if report.label = "unknown" then begin
       print_failure_chain report;
       exit_unclassified
@@ -113,7 +172,8 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(
       const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg $ max_attempts_arg
-      $ telemetry_arg $ chrome_arg)
+      $ telemetry_arg $ chrome_arg $ provenance_arg $ prof_table_arg $ prof_folded_arg
+      $ prof_json_arg)
 
 let trace_cmd =
   let run cca proto noise seed =
@@ -137,7 +197,7 @@ let census_cmd =
   let region_arg =
     Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
   in
-  let run sites region proto seed runs jobs =
+  let run sites region proto seed runs jobs provenance prof folded prof_json =
     match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
     | None ->
       Printf.eprintf "nebby census: unknown region %s (expected one of %s)\n" region
@@ -146,21 +206,49 @@ let census_cmd =
     | Some region ->
       let control = train runs in
       let websites = Internet.Population.generate ~n:sites ~seed () in
-      let tally =
-        Internet.Census.run ~jobs:(resolve_jobs jobs) ~control ~proto ~region websites
+      let jobs = resolve_jobs jobs in
+      let print_tally tally =
+        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+        Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
+        List.iter
+          (fun (label, n) ->
+            Printf.printf "%-14s %8d %7.1f%%\n" label n
+              (100.0 *. float_of_int n /. float_of_int total))
+          tally
       in
-      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
-      Printf.printf "%-14s %8s %8s\n" "variant" "sites" "share";
-      List.iter
-        (fun (label, n) ->
-          Printf.printf "%-14s %8d %7.1f%%\n" label n
-            (100.0 *. float_of_int n /. float_of_int total))
-        tally;
-      exit_ok
+      with_profiling ~prof ~folded ~json:prof_json (fun () ->
+          match provenance with
+          | None ->
+            print_tally (Internet.Census.run ~jobs ~control ~proto ~region websites);
+            exit_ok
+          | Some path ->
+            (* The explained census carries full verdict reports; its labels
+               are bit-identical to the plain path. *)
+            let explained =
+              Internet.Census.explained ~jobs ~control ~proto ~region websites
+            in
+            print_tally
+              (Internet.Census.tally_of_labels
+                 (List.map
+                    (fun (site, r) -> (site, r.Nebby.Measurement.label))
+                    explained));
+            write_provenance_jsonl path (Internet.Census.provenance_reports explained);
+            print_newline ();
+            print_string
+              (Obs.Provenance.render_dists ~header:"confidence"
+                 (Internet.Census.confidence_dists explained));
+            print_newline ();
+            print_string
+              (Obs.Provenance.render_dists ~header:"margin"
+                 (Internet.Census.margin_dists explained));
+            Printf.printf "\nprovenance : %s\n" path;
+            exit_ok)
   in
   let doc = "Run a mini census over the synthetic website population." in
   Cmd.v (Cmd.info "census" ~doc)
-    Term.(const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg)
+    Term.(
+      const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
+      $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
 
 let accuracy_cmd =
   let trials_arg =
@@ -277,6 +365,213 @@ let chaos_cmd =
       const run $ ccas_arg $ families_arg $ seed_arg $ runs_arg $ max_attempts_arg $ proto_arg
       $ jobs_arg $ telemetry_arg $ chrome_arg $ list_families_arg $ dump_plans_arg)
 
+(* `explain TARGET` resolves its target in order: an existing file (a
+   golden fixture to replay, a single provenance record, or a provenance
+   JSONL written by --provenance), a CCA registry name (fresh measurement
+   with provenance), then a website name in the synthetic population.
+   Fixture replay retrains at the golden-pinned configuration by default
+   (seed 7, 4 runs/CCA, 2 QUIC runs) so the verdict reproduces the
+   committed expectations bit for bit. *)
+let explain_cmd =
+  let target_arg =
+    let doc =
+      "What to explain: a provenance JSONL file, a golden fixture (test/golden/*.json), a \
+       CCA registry name, or a website name from the synthetic population."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let training_runs_arg =
+    let doc = "Training runs per CCA (default: the golden-pinned 4)." in
+    Arg.(value & opt int 4 & info [ "training-runs" ] ~docv:"N" ~doc)
+  in
+  let training_quic_runs_arg =
+    let doc = "QUIC training runs per CCA (default: the golden-pinned 2)." in
+    Arg.(value & opt int 2 & info [ "training-quic-runs" ] ~docv:"N" ~doc)
+  in
+  let training_seed_arg =
+    let doc = "Training seed (default: the golden-pinned 7)." in
+    Arg.(value & opt int 7 & info [ "training-seed" ] ~docv:"SEED" ~doc)
+  in
+  let sites_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "sites" ] ~docv:"N" ~doc:"Population size for website-name targets.")
+  in
+  let region_arg =
+    Arg.(
+      value & opt string "Ohio"
+      & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point for website-name targets.")
+  in
+  let jfail what = raise (Obs.Json.Parse_error ("fixture: " ^ what)) in
+  let jfloat j =
+    match Obs.Json.to_float j with Some x -> x | None -> jfail "expected a number"
+  in
+  let jstr j =
+    match Obs.Json.to_str j with Some s -> s | None -> jfail "expected a string"
+  in
+  let jlist j =
+    match Obs.Json.to_list j with Some l -> l | None -> jfail "expected an array"
+  in
+  let jmember key j =
+    match Obs.Json.member key j with
+    | Some v -> v
+    | None -> jfail (Printf.sprintf "missing field %S" key)
+  in
+  let obs_of_json j =
+    match jlist j with
+    | time :: dir :: size :: rest ->
+      let dir =
+        if jfloat dir = 0.0 then Netsim.Packet.To_client else Netsim.Packet.To_server
+      in
+      let view =
+        match rest with
+        | [] -> Netsim.Trace.Opaque
+        | [ seq; payload; ack; is_ack ] ->
+          Netsim.Trace.Tcp_view
+            {
+              seq = int_of_float (jfloat seq);
+              payload = int_of_float (jfloat payload);
+              ack = int_of_float (jfloat ack);
+              is_ack = jfloat is_ack <> 0.0;
+            }
+        | _ -> jfail "observation has neither 3 nor 7 fields"
+      in
+      { Netsim.Trace.time = jfloat time; dir; size = int_of_float (jfloat size); view }
+    | _ -> jfail "observation too short"
+  in
+  let replay_fixture ~control fixture =
+    let cca = jstr (jmember "cca" fixture) in
+    let entries =
+      List.map
+        (fun t ->
+          let profile = jstr (jmember "profile" t) in
+          let rtt = jfloat (jmember "rtt" t) in
+          let obs = List.map obs_of_json (jlist (jmember "obs" t)) in
+          let trace = Netsim.Trace.of_observations obs in
+          let bif = Nebby.Bif.estimate trace in
+          (profile, bif, Nebby.Pipeline.prepare ~rtt bif))
+        (jlist (jmember "traces" fixture))
+    in
+    let _, report =
+      Nebby.Measurement.explain_prepared ~control:(Lazy.force control) ~subject:cca entries
+    in
+    report
+  in
+  let reports_of_file ~control target =
+    let text = In_channel.with_open_bin target In_channel.input_all in
+    match Obs.Json.of_string text with
+    | json ->
+      if Obs.Json.member "traces" json <> None then [ replay_fixture ~control json ]
+      else [ Obs.Provenance.of_json json ]
+    | exception Obs.Json.Parse_error _ ->
+      (* not one JSON document: a multi-record provenance JSONL *)
+      Obs.Provenance.read_jsonl target
+  in
+  let run target training_runs training_quic_runs training_seed sites region proto noise
+      seed provenance prof folded prof_json =
+    let control =
+      lazy
+        (Nebby.Training.train ~runs_per_cca:training_runs
+           ~quic_runs_per_cca:training_quic_runs ~seed:training_seed ())
+    in
+    let render_reports reports =
+      List.iteri
+        (fun i r ->
+          if i > 0 then print_newline ();
+          print_string (Obs.Provenance.render r))
+        reports
+    in
+    let finish reports code =
+      render_reports reports;
+      Option.iter
+        (fun path ->
+          write_provenance_jsonl path reports;
+          Printf.printf "\nprovenance : %s\n" path)
+        provenance;
+      code
+    in
+    try
+      with_profiling ~prof ~folded ~json:prof_json (fun () ->
+          if Sys.file_exists target then
+            match reports_of_file ~control target with
+            | [] ->
+              Printf.eprintf "nebby explain: %s holds no provenance reports\n" target;
+              exit_usage
+            | reports -> finish reports exit_ok
+          else if List.mem target Cca.Registry.all then begin
+            let control = Lazy.force control in
+            let plugins = Nebby.Classifier.extended_plugins control in
+            let report =
+              Nebby.Measurement.measure_cca ~control ~plugins ~proto ~noise ~seed target
+            in
+            match report.Nebby.Measurement.provenance with
+            | Some p ->
+              finish [ p ]
+                (if report.Nebby.Measurement.label = "unknown" then exit_unclassified
+                 else exit_ok)
+            | None ->
+              Printf.eprintf "nebby explain: no verdict report was produced\n";
+              exit_internal
+          end
+          else
+            match
+              List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all
+            with
+            | None ->
+              Printf.eprintf "nebby explain: unknown region %s (expected one of %s)\n"
+                region
+                (String.concat ", " (List.map Internet.Region.name Internet.Region.all));
+              exit_usage
+            | Some region -> (
+              let websites = Internet.Population.generate ~n:sites ~seed () in
+              match
+                List.find_opt (fun s -> s.Internet.Website.name = target) websites
+              with
+              | None ->
+                Printf.eprintf
+                  "nebby explain: %s is not a file, a CCA registry name, or a website in \
+                   the %d-site population\n"
+                  target sites;
+                exit_usage
+              | Some site -> (
+                let report =
+                  Internet.Census.explain_site ~control:(Lazy.force control) ~proto
+                    ~region site
+                in
+                match report.Nebby.Measurement.provenance with
+                | Some p ->
+                  finish [ p ]
+                    (if report.Nebby.Measurement.label = "unknown" then exit_unclassified
+                     else exit_ok)
+                | None ->
+                  (* an unresponsive site has no verdict to explain *)
+                  Printf.printf "verdict   %s (no provenance: site did not respond)\n"
+                    report.Nebby.Measurement.label;
+                  exit_ok)))
+    with
+    | Obs.Provenance.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby explain: provenance schema version mismatch (expected %d, got %d); \
+         regenerate the reports with this binary\n"
+        expected got;
+      exit_usage
+    | Obs.Json.Parse_error msg ->
+      Printf.eprintf "nebby explain: %s: %s\n" target msg;
+      exit_usage
+    | Sys_error msg ->
+      Printf.eprintf "nebby explain: %s\n" msg;
+      exit_usage
+  in
+  let doc =
+    "Show the decision provenance of a classification: candidate scores, winning margin, \
+     per-stage summaries, and feature vectors."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ target_arg $ training_runs_arg $ training_quic_runs_arg
+      $ training_seed_arg $ sites_arg $ region_arg $ proto_arg $ noise_arg $ seed_arg
+      $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
+
 let stats_cmd =
   let file_arg =
     let doc =
@@ -325,7 +620,8 @@ let () =
   let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in
   let info = Cmd.info "nebby" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ measure_cmd; trace_cmd; census_cmd; accuracy_cmd; chaos_cmd; stats_cmd ]
+    Cmd.group info
+      [ measure_cmd; trace_cmd; census_cmd; explain_cmd; accuracy_cmd; chaos_cmd; stats_cmd ]
   in
   let code =
     match Cmd.eval_value ~catch:false group with

@@ -39,25 +39,21 @@ let () =
   (* Step 2: a hand-written plugin for the observed behaviour. This is the
      whole extension — a [Plugin.t] value. *)
   let homemade =
-    {
-      Nebby.Plugin.name = "my_akamai";
-      classify =
-        (fun p ->
-          let drains = Nebby.Trace_sig.deep_drains ~min_depth:0.5 p in
-          let periodic_10_20s =
-            match Nebby.Trace_sig.interval_stats (Nebby.Trace_sig.intervals drains) with
-            | Some (mean, cov) -> mean >= 9.0 && mean <= 22.0 && cov < 0.35
-            | None -> (
-              match drains with [ t ] -> t -. p.t0 >= 9.0 && t -. p.t0 <= 22.0 | _ -> false)
-          in
-          let steady =
-            p.segments <> []
-            && List.for_all (fun seg -> Nebby.Trace_sig.flatness seg > 0.7) p.segments
-          in
-          if periodic_10_20s && steady then
-            Some { Nebby.Plugin.label = "akamai_cc"; confidence = 0.8 }
-          else None);
-    }
+    Nebby.Plugin.make ~name:"my_akamai" (fun p ->
+        let drains = Nebby.Trace_sig.deep_drains ~min_depth:0.5 p in
+        let periodic_10_20s =
+          match Nebby.Trace_sig.interval_stats (Nebby.Trace_sig.intervals drains) with
+          | Some (mean, cov) -> mean >= 9.0 && mean <= 22.0 && cov < 0.35
+          | None -> (
+            match drains with [ t ] -> t -. p.t0 >= 9.0 && t -. p.t0 <= 22.0 | _ -> false)
+        in
+        let steady =
+          p.segments <> []
+          && List.for_all (fun seg -> Nebby.Trace_sig.flatness seg > 0.7) p.segments
+        in
+        if periodic_10_20s && steady then
+          Some { Nebby.Plugin.label = "akamai_cc"; confidence = 0.8 }
+        else None)
   in
 
   (* Step 3: rerun over the same captures with the plugin added. *)

@@ -45,4 +45,22 @@ let classify (p : Pipeline.t) =
     Some { Plugin.label = "akamai_cc"; confidence = 0.8 }
   else None
 
-let plugin = { Plugin.name = "akamai_cc"; classify }
+let signals (p : Pipeline.t) =
+  let drains = Trace_sig.deep_drains ~min_depth:0.5 ~max_trough:0.4 p in
+  let flats = List.map Trace_sig.flatness p.segments in
+  let mean_flat =
+    match flats with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 flats /. float_of_int (List.length flats)
+  in
+  [
+    ("deep_drains", float_of_int (List.length drains));
+    ("mean_flatness", mean_flat);
+  ]
+  @
+  match Trace_sig.interval_stats (Trace_sig.intervals drains) with
+  | Some (mean, cov) ->
+    [ ("drain_interval_s", mean); ("drain_interval_cov", cov) ]
+  | None -> []
+
+let plugin = Plugin.make ~explain:signals ~name:"akamai_cc" classify

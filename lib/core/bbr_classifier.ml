@@ -61,4 +61,22 @@ let classify (p : Pipeline.t) =
       | Some _ | None -> None
   end
 
-let plugin = { Plugin.name = "bbr"; classify }
+let signals (p : Pipeline.t) =
+  let drains =
+    List.filter (fun t -> t -. p.t0 > 3.0) (Trace_sig.deep_drains p)
+  in
+  [
+    ("mean_flatness", mean_flatness p);
+    ("longest_cruise_s", longest_cruise p);
+    ("deep_drains", float_of_int (List.length drains));
+  ]
+  @ (match Trace_sig.interval_stats (Trace_sig.intervals drains) with
+    | Some (mean, cov) ->
+      [ ("drain_interval_s", mean); ("drain_interval_cov", cov) ]
+    | None -> [])
+  @
+  match ripple_period_rtts p with
+  | Some r -> [ ("ripple_period_rtts", r) ]
+  | None -> []
+
+let plugin = Plugin.make ~explain:signals ~name:"bbr" classify

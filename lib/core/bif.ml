@@ -179,3 +179,19 @@ let accuracy ~estimate ~truth =
       done;
       if !mag <= 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (1.0 -. (!err /. !mag)))
     end
+
+let stats points =
+  match points with
+  | [] -> [ ("points", 0.0) ]
+  | (t0, v0) :: rest ->
+    let n, t_last, sum, max_v =
+      List.fold_left
+        (fun (n, _, sum, mx) (t, v) -> (n + 1, t, sum +. v, Float.max mx v))
+        (1, t0, v0, v0) rest
+    in
+    [
+      ("points", float_of_int n);
+      ("duration_s", t_last -. t0);
+      ("mean_bif", sum /. float_of_int n);
+      ("max_bif", max_v);
+    ]

@@ -40,3 +40,7 @@ val accuracy : estimate:(float * float) list -> truth:(float * float) list -> fl
     [1 - mean |est - truth| / mean truth], both resampled to a common grid
     and compared over their overlapping time span, clamped to [0, 1].
     Used to reproduce Figure 3 and the §3.2 QUIC validation. *)
+
+val stats : (float * float) list -> (string * float) list
+(** Point count, covered duration, mean and max of a BiF estimate — named
+    fields for a decision-provenance stage. *)

@@ -38,24 +38,115 @@ let emit_vote ~plugin (v : Plugin.verdict) =
       (Obs.Events.Classifier_vote
          { plugin; label = v.Plugin.label; confidence = v.Plugin.confidence })
 
-let classify_measurement ?(plugins = []) ?(proto = Netsim.Packet.Tcp) ~control
-    (prepared : (string * Pipeline.t) list) =
-  Obs.Span.with_ ~name:"classify" @@ fun () ->
+(* Shared engine behind [classify_measurement] and [explain_measurement]:
+   runs the loss classifier plus every plugin, emitting vote events, and
+   keeps (plugin, profile) attribution for provenance. *)
+let run_classifiers ~plugins ~proto ~control prepared =
   let plugins = if plugins = [] then extended_plugins control else plugins in
   let loss = Loss_classifier.classify_joint ~proto control prepared in
   Option.iter (emit_vote ~plugin:"loss_gnb") loss;
-  let per_trace =
+  let named =
     List.concat_map
-      (fun (_, p) ->
+      (fun (profile, p) ->
         List.filter_map
           (fun plugin ->
-            let verdict = plugin.Plugin.classify p in
-            Option.iter (emit_vote ~plugin:plugin.Plugin.name) verdict;
-            verdict)
+            match plugin.Plugin.classify p with
+            | Some v ->
+              emit_vote ~plugin:plugin.Plugin.name v;
+              Some (plugin.Plugin.name, profile, v)
+            | None -> None)
           plugins)
       prepared
   in
-  let verdicts = Option.to_list loss @ per_trace in
-  (combine verdicts, verdicts)
+  (plugins, loss, named)
 
 let outcome_label = function Known l -> l | Unknown -> "unknown"
+
+let classify_measurement ?(plugins = []) ?(proto = Netsim.Packet.Tcp) ~control
+    (prepared : (string * Pipeline.t) list) =
+  Obs.Span.with_ ~name:"classify" @@ fun () ->
+  let _, loss, named = run_classifiers ~plugins ~proto ~control prepared in
+  let verdicts = Option.to_list loss @ List.map (fun (_, _, v) -> v) named in
+  (combine verdicts, verdicts)
+
+type explanation = {
+  candidates : Obs.Provenance.candidate list;
+  margin : float;
+  confidence : float;
+  signals : (string * (string * float) list) list;
+}
+
+let explain_measurement ?(plugins = []) ?(proto = Netsim.Packet.Tcp) ~control
+    (prepared : (string * Pipeline.t) list) =
+  Obs.Span.with_ ~name:"classify" @@ fun () ->
+  let plugins_used, loss, named =
+    run_classifiers ~plugins ~proto ~control prepared
+  in
+  let verdicts = Option.to_list loss @ List.map (fun (_, _, v) -> v) named in
+  let outcome = combine verdicts in
+  let label = outcome_label outcome in
+  let scores = Loss_classifier.joint_scores ~proto control prepared in
+  let loss_candidates =
+    List.map
+      (fun (l, ll) ->
+        {
+          Obs.Provenance.source = "loss_gnb";
+          label = l;
+          score = ll;
+          confidence =
+            (match loss with
+            | Some v when v.Plugin.label = l -> v.Plugin.confidence
+            | _ -> 0.0);
+        })
+      scores
+  in
+  let plugin_candidates =
+    List.map
+      (fun (name, profile, (v : Plugin.verdict)) ->
+        {
+          Obs.Provenance.source = name ^ ":" ^ profile;
+          label = v.Plugin.label;
+          score = v.Plugin.confidence;
+          confidence = v.Plugin.confidence;
+        })
+      named
+  in
+  let sorted_confidences =
+    List.sort
+      (fun a b -> compare b.Plugin.confidence a.Plugin.confidence)
+      verdicts
+  in
+  (* Winning margin in the units of the deciding source: when the final
+     label tops the GNB score list, the log-likelihood gap to the
+     runner-up; otherwise the confidence gap between verdicts. *)
+  let margin =
+    match scores with
+    | (l1, a) :: (_, b) :: _ when l1 = label -> a -. b
+    | _ -> (
+      match sorted_confidences with
+      | a :: b :: _ -> a.Plugin.confidence -. b.Plugin.confidence
+      | [ a ] -> a.Plugin.confidence
+      | [] -> 0.0)
+  in
+  let confidence =
+    List.fold_left
+      (fun acc (v : Plugin.verdict) ->
+        if v.Plugin.label = label then Float.max acc v.Plugin.confidence
+        else acc)
+      0.0 verdicts
+  in
+  let signals =
+    List.concat_map
+      (fun (profile, p) ->
+        List.filter_map
+          (fun plugin ->
+            match plugin.Plugin.explain p with
+            | [] -> None
+            | fields -> Some (plugin.Plugin.name ^ ":" ^ profile, fields))
+          plugins_used)
+      prepared
+  in
+  let explanation =
+    { candidates = loss_candidates @ plugin_candidates; margin; confidence; signals }
+  in
+  (outcome, verdicts, explanation)

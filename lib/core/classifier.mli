@@ -32,6 +32,31 @@ val classify_measurement :
 (** Full classification of a measurement given (profile name, prepared
     trace) pairs. [plugins] defaults to {!extended_plugins}. *)
 
+type explanation = {
+  candidates : Obs.Provenance.candidate list;
+      (** every (source, label, score) the classifiers weighed: the GNB
+          log-likelihood per CCA (best first) plus one candidate per
+          plugin vote, attributed ["plugin:profile"] *)
+  margin : float;
+      (** top-1 minus top-2 score of the deciding source — GNB
+          log-likelihood gap when the loss classifier decided, confidence
+          gap otherwise *)
+  confidence : float;  (** of the winning verdict; 0 when Unknown *)
+  signals : (string * (string * float) list) list;
+      (** per-plugin {!Plugin.t.explain} signals, keyed
+          ["plugin:profile"] *)
+}
+
+val explain_measurement :
+  ?plugins:Plugin.t list ->
+  ?proto:Netsim.Packet.proto ->
+  control:Training.control ->
+  (string * Pipeline.t) list ->
+  outcome * Plugin.verdict list * explanation
+(** {!classify_measurement} plus the decision provenance behind it.
+    Classification behaviour is identical — same outcome, same verdicts,
+    same emitted events. *)
+
 val combine : Plugin.verdict list -> outcome
 
 val outcome_label : outcome -> string

@@ -53,4 +53,28 @@ let classify (p : Pipeline.t) =
       else None
   end
 
-let plugin = { Plugin.name = "copa"; classify }
+let signals (p : Pipeline.t) =
+  let dips = List.map (fun (b : Pipeline.backoff_info) -> b.at) p.backoffs in
+  let depths = List.map (fun (b : Pipeline.backoff_info) -> b.depth) p.backoffs in
+  let mean_depth =
+    match depths with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 depths /. float_of_int (List.length depths)
+  in
+  let periods = List.filter_map (Trace_sig.oscillation_period p) p.segments in
+  [ ("backoffs", float_of_int (List.length dips)); ("mean_backoff_depth", mean_depth) ]
+  @ (match Trace_sig.interval_stats (Trace_sig.intervals dips) with
+    | Some (mean, cov) when p.rtt > 0.0 ->
+      [ ("dip_cadence_rtts", mean /. p.rtt); ("dip_cadence_cov", cov) ]
+    | _ -> [])
+  @
+  match periods with
+  | [] -> []
+  | _ when p.rtt <= 0.0 -> []
+  | _ ->
+    let mean_period =
+      List.fold_left ( +. ) 0.0 periods /. float_of_int (List.length periods)
+    in
+    [ ("oscillation_period_rtts", mean_period /. p.rtt) ]
+
+let plugin = Plugin.make ~explain:signals ~name:"copa" classify

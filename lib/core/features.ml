@@ -70,7 +70,7 @@ let vector ~rtt f =
 
 (* Mean feature vector over every usable segment of a prepared trace: the
    trace-level evidence combination used by the loss-based classifier. *)
-let trace_vector (p : Pipeline.t) =
+let compute_trace_vector (p : Pipeline.t) =
   let vecs =
     List.filter_map
       (fun seg -> Option.map (vector ~rtt:p.Pipeline.rtt) (of_segment seg))
@@ -83,3 +83,35 @@ let trace_vector (p : Pipeline.t) =
     let mean = Array.make d 0.0 in
     List.iter (Array.iteri (fun i x -> mean.(i) <- mean.(i) +. x)) vecs;
     Some (Array.map (fun x -> x /. float_of_int (List.length vecs)) mean)
+
+(* The per-segment polynomial fits behind the vector are the most
+   expensive part of classification, and a provenance-collecting
+   measurement extracts the same vector three times (loss verdict, joint
+   score list, report features). Memoize per prepared trace, keyed by
+   physical identity of its smoothed series, in a domain-local
+   ephemeron-keyed table: workers never contend and dropping a pipeline
+   still lets it be collected. The cached vector is copied on return so
+   callers can never alias each other's arrays. *)
+module Pipe_key = struct
+  type t = float array
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Pipe_memo = Ephemeron.K1.Make (Pipe_key)
+
+let vector_memo : float array option Pipe_memo.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Pipe_memo.create 64)
+
+let trace_vector (p : Pipeline.t) =
+  let tbl = Domain.DLS.get vector_memo in
+  let cached =
+    match Pipe_memo.find_opt tbl p.Pipeline.smoothed with
+    | Some v -> v
+    | None ->
+      let v = compute_trace_vector p in
+      Pipe_memo.replace tbl p.Pipeline.smoothed v;
+      v
+  in
+  Option.map Array.copy cached

@@ -87,3 +87,58 @@ let classify_joint ?(proto = Netsim.Packet.Tcp) (control : Training.control)
     | None -> agreeing_singles ()
   end
   else agreeing_singles ()
+
+let joint_scores ?(proto = Netsim.Packet.Tcp) (control : Training.control)
+    (prepared : (string * Pipeline.t) list) =
+  let bundle = Training.bundle_for control proto in
+  let vectors =
+    List.map
+      (fun (profile : Profile.t) ->
+        match List.assoc_opt profile.Profile.name prepared with
+        | None -> None
+        | Some p -> Features.trace_vector p)
+      control.Training.profiles
+  in
+  if List.for_all Option.is_some vectors && vectors <> [] then begin
+    let joint_vec = Array.concat (List.map Option.get vectors) in
+    let vec = Training.apply_scaler bundle.Training.joint_scaler joint_vec in
+    Sigproc.Gnb.log_likelihoods bundle.Training.joint vec
+  end
+  else
+    (* No joint vector: sum the per-profile log-likelihoods of labels every
+       single-profile model can score — the evidence the fallback path
+       weighs, in the same (higher is better) units. *)
+    let per_profile =
+      List.filter_map
+        (fun (name, p) ->
+          match
+            List.find_opt
+              (fun pm -> pm.Training.profile_name = name)
+              bundle.Training.per_profile
+          with
+          | None -> None
+          | Some pm -> (
+            match Features.trace_vector p with
+            | None -> None
+            | Some vec ->
+              let vec = Training.apply_scaler pm.scaler vec in
+              Some (Sigproc.Gnb.log_likelihoods pm.model vec)))
+        prepared
+    in
+    match per_profile with
+    | [] -> []
+    | first :: rest ->
+      List.filter_map
+        (fun (label, ll) ->
+          let total =
+            List.fold_left
+              (fun acc lls ->
+                match acc with
+                | None -> None
+                | Some sum ->
+                  Option.map (fun x -> sum +. x) (List.assoc_opt label lls))
+              (Some ll) rest
+          in
+          Option.map (fun sum -> (label, sum)) total)
+        first
+      |> List.sort (fun (_, a) (_, b) -> compare b a)

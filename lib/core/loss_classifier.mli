@@ -24,6 +24,17 @@ val classify_single :
   string option
 (** Single-profile trace-level decision. *)
 
+val joint_scores :
+  ?proto:Netsim.Packet.proto ->
+  Training.control ->
+  (string * Pipeline.t) list ->
+  (string * float) list
+(** Per-CCA log-likelihoods behind {!classify_joint}'s decision, sorted
+    best first: the joint model's scores when every profile yielded
+    features, else the summed single-profile scores the fallback path
+    weighs. [[]] when no profile produced a feature vector. Purely
+    observational — for decision provenance. *)
+
 val segment_labels :
   ?proto:Netsim.Packet.proto ->
   Training.control ->

@@ -42,6 +42,7 @@ type report = {
   per_profile : (string * string) list;
   failures : failure_reason list;
   backoff_total : float;
+  provenance : Obs.Provenance.report option;
 }
 
 let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
@@ -49,6 +50,37 @@ let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
   let rtt = Profile.rtt profile in
   let bif = transform ~rtt (Bif.estimate result.Testbed.trace) in
   Pipeline.prepare ?smoothen ~rtt bif
+
+let explain_prepared ?plugins ?proto ~control ~subject entries =
+  let prepared = List.map (fun (name, _, p) -> (name, p)) entries in
+  let outcome, _verdicts, expl =
+    Classifier.explain_measurement ?plugins ?proto ~control prepared
+  in
+  let label = Classifier.outcome_label outcome in
+  let stages =
+    List.concat_map
+      (fun (name, bif, p) ->
+        [
+          { Obs.Provenance.stage = "bif:" ^ name; fields = Bif.stats bif };
+          { Obs.Provenance.stage = "pipeline:" ^ name; fields = Pipeline.summary p };
+          { Obs.Provenance.stage = "trace_sig:" ^ name; fields = Trace_sig.summary p };
+        ])
+      entries
+    @ List.map
+        (fun (key, fields) -> { Obs.Provenance.stage = "signals:" ^ key; fields })
+        expl.Classifier.signals
+  in
+  let features =
+    List.filter_map
+      (fun (name, _, p) -> Option.map (fun v -> (name, v)) (Features.trace_vector p))
+      entries
+  in
+  let report =
+    Obs.Provenance.make ~subject ~label ~confidence:expl.Classifier.confidence
+      ~margin:expl.Classifier.margin ~features ~stages
+      ~candidates:expl.Classifier.candidates
+  in
+  (outcome, report)
 
 let classify_trace ?plugins ?proto ~control ~profile (result : Testbed.result) =
   let prepared = prepare_result ~profile result in
@@ -78,7 +110,8 @@ let diagnose runs ~segments =
 
 let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.Path.mild)
     ?(proto = Netsim.Packet.Tcp) ?(page_bytes = Profile.default_page_bytes) ?(seed = 99)
-    ?(config = default_config) ?faults ~control ~make_cca () =
+    ?(config = default_config) ?faults ?(provenance = true) ?(subject = "measurement")
+    ~control ~make_cca () =
   let profiles = match profiles with Some p -> p | None -> control.Training.profiles in
   (* jitter draws come from a named substream of the measurement seed, so
      backoff randomization can never perturb the measurement itself *)
@@ -94,15 +127,27 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
               () ))
         profiles
     in
-    if List.exists (fun (_, r) -> r.Testbed.flow_reset) runs then `Failed (Flow_reset, [])
+    if List.exists (fun (_, r) -> r.Testbed.flow_reset) runs then `Failed (Flow_reset, [], None)
     else begin
       match
-        let prepared =
+        let full =
           List.map
-            (fun (p, r) -> (p.Profile.name, prepare_result ?transform ?smoothen ~profile:p r))
+            (fun (p, r) ->
+              let rtt = Profile.rtt p in
+              let tf = match transform with Some f -> f | None -> fun ~rtt:_ pts -> pts in
+              let bif = tf ~rtt (Bif.estimate r.Testbed.trace) in
+              (p.Profile.name, bif, Pipeline.prepare ?smoothen ~rtt bif))
             runs
         in
-        let outcome, _ = Classifier.classify_measurement ?plugins ~proto ~control prepared in
+        let prepared = List.map (fun (name, _, prep) -> (name, prep)) full in
+        let outcome, prov =
+          if provenance then begin
+            let o, rep = explain_prepared ?plugins ~proto ~control ~subject full in
+            (o, Some rep)
+          end
+          else
+            (fst (Classifier.classify_measurement ?plugins ~proto ~control prepared), None)
+        in
         let per_profile =
           List.map
             (fun (name, prep) ->
@@ -115,25 +160,32 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
         let segments =
           List.fold_left (fun acc (_, prep) -> acc + Pipeline.segment_count prep) 0 prepared
         in
-        (outcome, per_profile, segments)
+        (outcome, per_profile, segments, prov)
       with
-      | Classifier.Known label, per_profile, _ -> `Classified (label, per_profile)
-      | Classifier.Unknown, per_profile, segments ->
-        `Failed (diagnose runs ~segments, per_profile)
+      | Classifier.Known label, per_profile, _, prov -> `Classified (label, per_profile, prov)
+      | Classifier.Unknown, per_profile, segments, prov ->
+        `Failed (diagnose runs ~segments, per_profile, prov)
       | exception _ ->
         (* a malformed trace broke the pipeline: diagnose rather than raise *)
         let reason =
           if List.exists (fun (_, r) -> capture_truncated r) runs then Trace_truncated
           else Low_confidence
         in
-        `Failed (reason, [])
+        `Failed (reason, [], None)
     end
   in
   let rec go n failures backoff_total =
     match attempt n with
-    | `Classified (label, per_profile) ->
-      { label; attempts = n; per_profile; failures = List.rev failures; backoff_total }
-    | `Failed (reason, per_profile) ->
+    | `Classified (label, per_profile, prov) ->
+      {
+        label;
+        attempts = n;
+        per_profile;
+        failures = List.rev failures;
+        backoff_total;
+        provenance = prov;
+      }
+    | `Failed (reason, per_profile, prov) ->
       if Obs.Events.active () then
         Obs.Events.emit
           (Obs.Events.Attempt_failed { attempt = n; reason = failure_reason_label reason });
@@ -146,6 +198,7 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
           per_profile;
           failures = List.rev failures;
           backoff_total;
+          provenance = prov;
         }
       else begin
         let jitter = 1.0 +. (config.backoff_jitter *. Netsim.Rng.float backoff_rng) in
@@ -162,6 +215,7 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
   in
   let run () =
     let report = go 1 [] 0.0 in
+    Option.iter Obs.Provenance.emit report.provenance;
     if Obs.Events.active () then
       Obs.Events.emit
         (Obs.Events.Measurement_done { label = report.label; attempts = report.attempts });
@@ -173,6 +227,6 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
     let handle = Obs.Events.on f in
     Fun.protect ~finally:(fun () -> Obs.Events.off handle) run
 
-let measure_cca ?plugins ?noise ?proto ?seed ?config ?faults ~control name =
-  measure ?plugins ?noise ?proto ?seed ?config ?faults ~control
-    ~make_cca:(Cca.Registry.create name) ()
+let measure_cca ?plugins ?noise ?proto ?seed ?config ?faults ?provenance ~control name =
+  measure ?plugins ?noise ?proto ?seed ?config ?faults ?provenance ~subject:name
+    ~control ~make_cca:(Cca.Registry.create name) ()

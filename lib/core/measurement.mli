@@ -50,6 +50,11 @@ type report = {
       (** one reason per failed attempt, oldest first; empty iff the first
           attempt classified *)
   backoff_total : float;  (** total backoff delay accrued, seconds *)
+  provenance : Obs.Provenance.report option;
+      (** the decision provenance of the verdict (built on the attempt
+          that classified, or the last failed attempt); [None] when
+          collection was disabled or the pipeline broke before
+          classifying *)
 }
 
 val classify_trace :
@@ -70,6 +75,19 @@ val prepare_result :
 (** Estimate BiF and run the preparation pipeline for one captured trace.
     [transform] degrades the series first (metric ablations). *)
 
+val explain_prepared :
+  ?plugins:Plugin.t list ->
+  ?proto:Netsim.Packet.proto ->
+  control:Training.control ->
+  subject:string ->
+  (string * (float * float) list * Pipeline.t) list ->
+  Classifier.outcome * Obs.Provenance.report
+(** Classify (profile name, BiF estimate, prepared trace) triples and
+    build the full verdict report: BiF/pipeline/trace-signature stage
+    summaries, per-profile feature vectors, every candidate score, margin
+    and confidence. This is the provenance builder behind {!measure} and
+    the CLI's [explain] on replayed fixtures. *)
+
 val measure :
   ?plugins:Plugin.t list ->
   ?profiles:Profile.t list ->
@@ -82,6 +100,8 @@ val measure :
   ?seed:int ->
   ?config:config ->
   ?faults:Faults.plan ->
+  ?provenance:bool ->
+  ?subject:string ->
   control:Training.control ->
   make_cca:(Cca.params -> Cca.t) ->
   unit ->
@@ -91,7 +111,13 @@ val measure :
     (packet drops, cwnd updates, back-offs, segments, classifier votes,
     attempts, fault injections, retries) flow to the callback; the
     subscription is removed on return. [faults] forwards a fault plan to
-    every {!Testbed.run} of every attempt. *)
+    every {!Testbed.run} of every attempt.
+
+    [provenance] (default [true]) builds the verdict report carried in
+    [report.provenance] and hands it to {!Obs.Provenance.emit} (a no-op
+    unless a collector is active); [subject] names the measured target in
+    that report. Disabling skips the extra scoring work on hot paths that
+    only need the label. *)
 
 val measure_cca :
   ?plugins:Plugin.t list ->
@@ -100,7 +126,9 @@ val measure_cca :
   ?seed:int ->
   ?config:config ->
   ?faults:Faults.plan ->
+  ?provenance:bool ->
   control:Training.control ->
   string ->
   report
-(** Convenience wrapper resolving the CCA by registry name. *)
+(** Convenience wrapper resolving the CCA by registry name (which also
+    becomes the provenance subject). *)

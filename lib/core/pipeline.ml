@@ -237,3 +237,20 @@ let prepare ?(dt = default_dt) ?(smoothen = true) ~rtt points =
   }
 
 let segment_count t = List.length t.segments
+
+let summary t =
+  let total_segment_s =
+    List.fold_left (fun acc s -> acc +. s.duration) 0.0 t.segments
+  in
+  let max_backoff_depth =
+    List.fold_left (fun acc (b : backoff_info) -> Float.max acc b.depth) 0.0 t.backoffs
+  in
+  [
+    ("segments", float_of_int (List.length t.segments));
+    ("backoffs", float_of_int (List.length t.backoffs));
+    ("total_segment_s", total_segment_s);
+    ("max_backoff_depth", max_backoff_depth);
+    ("mean_bif", t.mean_bif);
+    ("rtt_s", t.rtt);
+    ("dt_s", t.dt);
+  ]

@@ -56,3 +56,8 @@ val prepare : ?dt:float -> ?smoothen:bool -> rtt:float -> (float * float) list -
     low-pass stage (for the ablation study only). *)
 
 val segment_count : t -> int
+
+val summary : t -> (string * float) list
+(** The filter outputs at a glance — segment/back-off counts, covered
+    segment seconds, deepest back-off, mean BiF, grid parameters — as
+    named fields for a decision-provenance stage. *)

@@ -1,2 +1,9 @@
 type verdict = { label : string; confidence : float }
-type t = { name : string; classify : Pipeline.t -> verdict option }
+
+type t = {
+  name : string;
+  classify : Pipeline.t -> verdict option;
+  explain : Pipeline.t -> (string * float) list;
+}
+
+let make ?(explain = fun _ -> []) ~name classify = { name; classify; explain }

@@ -5,4 +5,18 @@
 
 type verdict = { label : string; confidence : float }
 
-type t = { name : string; classify : Pipeline.t -> verdict option }
+type t = {
+  name : string;
+  classify : Pipeline.t -> verdict option;
+  explain : Pipeline.t -> (string * float) list;
+      (** The named signals [classify] decides on (drain cadence,
+          flatness, ripple period, …), for decision provenance. May
+          return [[]]; must not raise. *)
+}
+
+val make :
+  ?explain:(Pipeline.t -> (string * float) list) ->
+  name:string ->
+  (Pipeline.t -> verdict option) ->
+  t
+(** Smart constructor; [explain] defaults to no signals. *)

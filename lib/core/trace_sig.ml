@@ -53,7 +53,7 @@ let probe_spikes (p : Pipeline.t) (seg : Pipeline.segment) =
   in
   scan 0 (-min_gap) []
 
-let flatness (seg : Pipeline.segment) =
+let compute_flatness (seg : Pipeline.segment) =
   (* empty windows happen under capture faults; they are simply not flat *)
   if Array.length seg.values = 0 then 0.0
   else
@@ -64,7 +64,7 @@ let flatness (seg : Pipeline.segment) =
     float_of_int ok /. float_of_int (Array.length seg.values)
   end
 
-let longest_flat_span (p : Pipeline.t) (seg : Pipeline.segment) =
+let compute_longest_flat_span (p : Pipeline.t) (seg : Pipeline.segment) =
   let n = Array.length seg.values in
   let rec go i run_start level best =
     if i >= n then Float.max best (float_of_int (i - run_start) *. p.dt)
@@ -78,7 +78,7 @@ let longest_flat_span (p : Pipeline.t) (seg : Pipeline.segment) =
 (* Dominant periodicity via the autocorrelation of the linearly detrended
    segment: robust against the measurement noise that defeats peak
    counting. Searches lags from 3 RTTs up to a third of the segment. *)
-let oscillation_period (p : Pipeline.t) (seg : Pipeline.segment) =
+let compute_oscillation_period (p : Pipeline.t) (seg : Pipeline.segment) =
   let n = Array.length seg.values in
   let min_lag = max 2 (int_of_float (3.0 *. p.rtt /. p.dt)) in
   let max_lag = n / 3 in
@@ -131,3 +131,84 @@ let oscillation_period (p : Pipeline.t) (seg : Pipeline.segment) =
         | None -> None)
     end
   end
+
+(* The per-sample signatures above are recomputed by every classifier that
+   asks for them — several rate-based plugins each call the autocorrelation
+   hunt (O(samples x lags)), the flatness median sort, and the flat-span
+   scan, and a provenance-collecting measurement asks once more for the
+   stage summary. Memoize per segment, keyed by physical identity of the
+   sample array (a segment is immutable and belongs to exactly one
+   pipeline, so rtt/dt are determined by the key). The tables are
+   domain-local (worker domains never contend) and ephemeron-keyed, so
+   dropping a trace still lets its segments be collected. *)
+module Seg_key = struct
+  type t = float array
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Seg_memo = Ephemeron.K1.Make (Seg_key)
+
+let memoize_seg (type v) (compute : Pipeline.segment -> v) : Pipeline.segment -> v =
+  let key : v Seg_memo.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Seg_memo.create 64)
+  in
+  fun (seg : Pipeline.segment) ->
+    let tbl = Domain.DLS.get key in
+    match Seg_memo.find_opt tbl seg.values with
+    | Some cached -> cached
+    | None ->
+      let result = compute seg in
+      Seg_memo.replace tbl seg.values result;
+      result
+
+(* like {!memoize_seg} for signatures that also read the pipeline's
+   rtt/dt: still keyed on the segment alone, which is sound because a
+   segment belongs to exactly one pipeline *)
+let memoize_pseg (type v) (compute : Pipeline.t -> Pipeline.segment -> v) :
+    Pipeline.t -> Pipeline.segment -> v =
+  let key : v Seg_memo.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Seg_memo.create 64)
+  in
+  fun p (seg : Pipeline.segment) ->
+    let tbl = Domain.DLS.get key in
+    match Seg_memo.find_opt tbl seg.values with
+    | Some cached -> cached
+    | None ->
+      let result = compute p seg in
+      Seg_memo.replace tbl seg.values result;
+      result
+
+let oscillation_period = memoize_pseg compute_oscillation_period
+let longest_flat_span = memoize_pseg compute_longest_flat_span
+let flatness = memoize_seg compute_flatness
+
+let summary (p : Pipeline.t) =
+  let segs = p.segments in
+  let flats = List.map flatness segs in
+  let mean_flat =
+    match flats with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 flats /. float_of_int (List.length flats)
+  in
+  let cruise =
+    List.fold_left (fun acc seg -> Float.max acc (longest_flat_span p seg)) 0.0 segs
+  in
+  let drains = deep_drains p in
+  let periods = List.filter_map (oscillation_period p) segs in
+  [
+    ("mean_flatness", mean_flat);
+    ("longest_flat_span_s", cruise);
+    ("deep_drains", float_of_int (List.length drains));
+  ]
+  @ (match interval_stats (intervals drains) with
+    | Some (mean, cov) -> [ ("drain_interval_s", mean); ("drain_interval_cov", cov) ]
+    | None -> [])
+  @
+  match periods with
+  | [] -> []
+  | first :: rest ->
+    let p_min = List.fold_left Float.min first rest in
+    if p.rtt > 0.0 then [ ("min_oscillation_period_rtts", p_min /. p.rtt) ]
+    else []

@@ -40,3 +40,9 @@ val oscillation_period : Pipeline.t -> Pipeline.segment -> float option
     of the detrended segment; [None] if fewer than 3 peaks. *)
 
 val median : float array -> float
+
+val summary : Pipeline.t -> (string * float) list
+(** The windowed signature signals at a glance — mean flatness, longest
+    flat span, deep-drain count/cadence, minimum oscillation period in
+    RTTs — as named fields for a decision-provenance stage. Fields whose
+    signal is absent (no drains, no oscillation) are omitted. *)

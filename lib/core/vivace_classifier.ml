@@ -39,4 +39,18 @@ let classify (p : Pipeline.t) =
     else None
   end
 
-let plugin = { Plugin.name = "vivace"; classify }
+let signals (p : Pipeline.t) =
+  let total_steps =
+    List.fold_left (fun acc seg -> acc + count_steps p seg) 0 p.segments
+  in
+  let max_amp =
+    List.fold_left
+      (fun acc (seg : Pipeline.segment) ->
+        if seg.raw_max > 0.0 then
+          Float.max acc ((seg.raw_max -. seg.raw_min) /. seg.raw_max)
+        else acc)
+      0.0 p.segments
+  in
+  [ ("probe_steps", float_of_int total_steps); ("max_amp_ratio", max_amp) ]
+
+let plugin = Plugin.make ~explain:signals ~name:"vivace" classify

@@ -14,6 +14,8 @@ let parallel_map ~workers f xs =
   let cursors = Array.init workers (fun _ -> Atomic.make 0) in
   let steals = Atomic.make 0 in
   let parent_armed = Obs.Runtime.armed () in
+  let parent_profiling = Obs.Prof.profiling () in
+  let parent_collecting = Obs.Provenance.collecting () in
   let claim s =
     let pos = Atomic.fetch_and_add cursors.(s) 1 in
     if pos < shard_size ~n ~workers s then Some (s + (pos * workers)) else None
@@ -25,6 +27,8 @@ let parallel_map ~workers f xs =
   in
   let worker w () =
     if parent_armed then Obs.Runtime.arm ();
+    if parent_profiling then Obs.Prof.enable ();
+    if parent_collecting then Obs.Provenance.enable_collect ();
     let rec drain s stolen =
       match claim s with
       | Some i ->
@@ -37,12 +41,21 @@ let parallel_map ~workers f xs =
     for s = 0 to workers - 1 do
       if s <> w then drain s true
     done;
-    (* hand the domain-local telemetry buffer to the collector *)
-    Obs.Metrics.drain ()
+    (* hand the domain-local telemetry buffers to the collector *)
+    let profile = if parent_profiling then Obs.Prof.drain () else [] in
+    let reports =
+      if parent_collecting then Obs.Provenance.drain_reports () else []
+    in
+    (Obs.Metrics.drain (), profile, reports)
   in
   let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
   let buffers = Array.map Domain.join domains in
-  Array.iter Obs.Metrics.absorb buffers;
+  Array.iter
+    (fun (metrics, profile, reports) ->
+      Obs.Metrics.absorb metrics;
+      Obs.Prof.absorb profile;
+      Obs.Provenance.absorb_reports reports)
+    buffers;
   if parent_armed then begin
     Obs.Metrics.add (Obs.Metrics.counter "engine.pool.jobs") n;
     Obs.Metrics.add (Obs.Metrics.counter "engine.pool.workers") workers;

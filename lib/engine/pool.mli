@@ -18,9 +18,15 @@
     each worker arms its own domain, buffers metrics and span histograms
     in its domain-local registry while it runs, and the pool flushes every
     worker's buffer into the caller's registry at join (in worker order,
-    via {!Obs.Metrics.drain}/{!Obs.Metrics.absorb}). The pool itself
-    contributes [engine.pool.jobs], [engine.pool.workers], and
-    [engine.pool.steals] counters. *)
+    via {!Obs.Metrics.drain}/{!Obs.Metrics.absorb}). The profiler and
+    provenance buffers travel the same way: a profiling caller
+    ({!Obs.Prof.profiling}) gets every worker's folded-stack profile
+    merged via {!Obs.Prof.drain}/{!Obs.Prof.absorb}, and a collecting
+    caller ({!Obs.Provenance.collecting}) receives worker-emitted verdict
+    reports via {!Obs.Provenance.drain_reports}/[absorb_reports] (report
+    arrival order follows worker join order, not submission order). The
+    pool itself contributes [engine.pool.jobs], [engine.pool.workers],
+    and [engine.pool.steals] counters. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], floored at 1: leave one

@@ -20,9 +20,17 @@ let cache_key ~control ~proto ~region (site : Website.t) =
     (proto_tag proto)
     (Nebby.Training.fingerprint control)
 
-let measure_site ~control ~proto ~region (site : Website.t) =
+let site_report ~provenance ~control ~proto ~region (site : Website.t) =
   match proto with
-  | Netsim.Packet.Quic when not site.Website.quic -> "unresponsive"
+  | Netsim.Packet.Quic when not site.Website.quic ->
+    {
+      Nebby.Measurement.label = "unresponsive";
+      attempts = 0;
+      per_profile = [];
+      failures = [];
+      backoff_total = 0.0;
+      provenance = None;
+    }
   | _ ->
     let cca_name =
       match proto with
@@ -31,14 +39,32 @@ let measure_site ~control ~proto ~region (site : Website.t) =
     in
     let noise = Netsim.Path.scale (Region.noise region) site.Website.noise_factor in
     let report =
-      Nebby.Measurement.measure ~control ~noise ~proto
-        ~page_bytes:site.Website.page_bytes ~seed:(site_seed site region proto)
+      Nebby.Measurement.measure ~provenance ~subject:site.Website.name ~control ~noise
+        ~proto ~page_bytes:site.Website.page_bytes ~seed:(site_seed site region proto)
         ~make_cca:(Cca.Registry.create cca_name) ()
     in
     (* Appendix E: a rate-based sender that is BBR-like but neither v1 nor
        v2 is inferred to be BBRv3 *)
-    if report.Nebby.Measurement.label = Nebby.Bbr_classifier.label_unknown_bbr then "bbr3"
-    else report.Nebby.Measurement.label
+    if report.Nebby.Measurement.label = Nebby.Bbr_classifier.label_unknown_bbr then begin
+      let label = "bbr3" in
+      {
+        report with
+        Nebby.Measurement.label;
+        provenance =
+          Option.map
+            (fun p -> { p with Obs.Provenance.label })
+            report.Nebby.Measurement.provenance;
+      }
+    end
+    else report
+
+(* The label-only path skips provenance: a census that just tallies has no
+   use for the verdict reports, and the skip keeps the hot path lean. *)
+let measure_site ~control ~proto ~region site =
+  (site_report ~provenance:false ~control ~proto ~region site).Nebby.Measurement.label
+
+let explain_site ~control ~proto ~region site =
+  site_report ~provenance:true ~control ~proto ~region site
 
 let select sites websites =
   match sites with
@@ -57,6 +83,24 @@ let labels ?sites ?jobs ?cache ~control ~proto ~region websites =
   in
   Array.to_list
     (Engine.Pool.map ?jobs (fun site -> (site, classify site)) selected)
+
+let explained ?sites ?jobs ~control ~proto ~region websites =
+  let selected = Array.of_list (select sites websites) in
+  Array.to_list
+    (Engine.Pool.map ?jobs
+       (fun site -> (site, explain_site ~control ~proto ~region site))
+       selected)
+
+let provenance_reports explained =
+  List.filter_map
+    (fun (_, r) -> r.Nebby.Measurement.provenance)
+    explained
+
+let confidence_dists explained =
+  Obs.Provenance.confidence_dists (provenance_reports explained)
+
+let margin_dists explained =
+  Obs.Provenance.margin_dists (provenance_reports explained)
 
 (* The tally is rebuilt from the per-site labels in canonical (population)
    order, so its contents — including tie order among equal counts — are

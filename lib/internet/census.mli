@@ -34,6 +34,43 @@ val measure_site :
     Google's pre-release deployment), ["unknown"], or ["unresponsive"]
     (QUIC request to a non-QUIC site). *)
 
+val explain_site :
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t ->
+  Nebby.Measurement.report
+(** {!measure_site} with the full measurement report and its decision
+    provenance attached (subject = the site name, label mapped like
+    {!measure_site}: ["bbr3"], ["unresponsive"], …). The label is
+    bit-identical to {!measure_site}'s — provenance collection does not
+    perturb the measurement. *)
+
+val explained :
+  ?sites:int ->
+  ?jobs:int ->
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t list ->
+  (Website.t * Nebby.Measurement.report) list
+(** {!explain_site} over the population, in canonical order like
+    {!labels}. Uncached: verdict reports are per-run artifacts. *)
+
+val provenance_reports :
+  (Website.t * Nebby.Measurement.report) list -> Obs.Provenance.report list
+
+val confidence_dists :
+  (Website.t * Nebby.Measurement.report) list ->
+  (string * Obs.Provenance.dist) list
+(** Per-label confidence distributions over an {!explained} census —
+    which labels the classifiers are sure of, and which ride the margin. *)
+
+val margin_dists :
+  (Website.t * Nebby.Measurement.report) list ->
+  (string * Obs.Provenance.dist) list
+(** Per-label winning-margin distributions over an {!explained} census. *)
+
 val labels :
   ?sites:int ->
   ?jobs:int ->

@@ -6,6 +6,9 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(* Control characters (including DEL) become \u escapes; bytes >= 0x80 pass
+   through untouched, so UTF-8 text stays UTF-8 on the wire and arbitrary
+   byte strings round-trip through our own parser byte-for-byte. *)
 let escape buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -16,7 +19,8 @@ let escape buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.add_char buf '"'
@@ -90,9 +94,42 @@ let literal c word value =
   end
   else fail c ("expected " ^ word)
 
+(* UTF-8 encode a Unicode scalar value. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string c =
   expect c '"';
   let buf = Buffer.create 16 in
+  (* [c.pos] points at the 'u' of a \u escape; consume the four hex digits,
+     leaving [c.pos] on the last one (the caller advances past it). *)
+  let read_hex4 () =
+    if c.pos + 4 >= String.length c.src then fail c "bad \\u escape";
+    let hex = String.sub c.src (c.pos + 1) 4 in
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        hex
+    in
+    if not ok then fail c "bad \\u escape";
+    c.pos <- c.pos + 4;
+    int_of_string ("0x" ^ hex)
+  in
   let rec go () =
     match peek c with
     | None -> fail c "unterminated string"
@@ -106,12 +143,28 @@ let parse_string c =
       | Some 'b' -> Buffer.add_char buf '\b'
       | Some 'f' -> Buffer.add_char buf '\012'
       | Some 'u' ->
-        (* decode BMP escapes as a raw byte when < 256, else '?' *)
-        if c.pos + 4 >= String.length c.src then fail c "bad \\u escape";
-        let hex = String.sub c.src (c.pos + 1) 4 in
-        let code = int_of_string ("0x" ^ hex) in
-        Buffer.add_char buf (if code < 256 then Char.chr code else '?');
-        c.pos <- c.pos + 4
+        (* Decode to UTF-8, combining surrogate pairs; an unpaired
+           surrogate becomes U+FFFD rather than corrupting the stream. *)
+        let code = read_hex4 () in
+        if code >= 0xD800 && code <= 0xDBFF then
+          if
+            c.pos + 2 < String.length c.src
+            && c.src.[c.pos + 1] = '\\'
+            && c.src.[c.pos + 2] = 'u'
+          then begin
+            c.pos <- c.pos + 2;
+            let low = read_hex4 () in
+            if low >= 0xDC00 && low <= 0xDFFF then
+              add_utf8 buf (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+            else begin
+              add_utf8 buf 0xFFFD;
+              if low >= 0xD800 && low <= 0xDFFF then add_utf8 buf 0xFFFD
+              else add_utf8 buf low
+            end
+          end
+          else add_utf8 buf 0xFFFD
+        else if code >= 0xDC00 && code <= 0xDFFF then add_utf8 buf 0xFFFD
+        else add_utf8 buf code
       | Some ch -> Buffer.add_char buf ch
       | None -> fail c "unterminated escape");
       c.pos <- c.pos + 1;

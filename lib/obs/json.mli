@@ -15,10 +15,17 @@ type t =
 exception Parse_error of string
 
 val to_string : t -> string
-(** Compact single-line encoding (safe for JSONL). *)
+(** Compact single-line encoding (safe for JSONL). Control characters
+    (0x00–0x1f and DEL) are emitted as [\u] escapes; bytes [>= 0x80] pass
+    through untouched, so UTF-8 text stays UTF-8 on the wire and arbitrary
+    byte strings (site names scraped from anywhere) survive a
+    [to_string] / [of_string] round trip byte-for-byte. *)
 
 val of_string : string -> t
-(** Parse one JSON value. Raises {!Parse_error} on malformed input. *)
+(** Parse one JSON value. Raises {!Parse_error} on malformed input.
+    [\uXXXX] escapes decode to UTF-8 (surrogate pairs combined; an
+    unpaired surrogate becomes U+FFFD rather than corrupting the
+    stream). *)
 
 (** Accessors returning [None] on shape mismatch. *)
 

@@ -1,0 +1,291 @@
+let schema_version = 1
+
+type candidate = {
+  source : string;
+  label : string;
+  score : float;
+  confidence : float;
+}
+
+type stage = { stage : string; fields : (string * float) list }
+
+type report = {
+  version : int;
+  subject : string;
+  label : string;
+  confidence : float;
+  margin : float;
+  features : (string * float array) list;
+  stages : stage list;
+  candidates : candidate list;
+}
+
+exception Version_mismatch of { expected : int; got : int }
+
+let make ~subject ~label ~confidence ~margin ~features ~stages ~candidates =
+  { version = schema_version; subject; label; confidence; margin; features;
+    stages; candidates }
+
+(* serialization ---------------------------------------------------------- *)
+
+let to_json r =
+  Json.Obj
+    [
+      ("kind", Json.Str "provenance");
+      ("version", Json.Num (float_of_int r.version));
+      ("subject", Json.Str r.subject);
+      ("label", Json.Str r.label);
+      ("confidence", Json.Num r.confidence);
+      ("margin", Json.Num r.margin);
+      ( "features",
+        Json.Arr
+          (List.map
+             (fun (profile, vec) ->
+               Json.Obj
+                 [
+                   ("profile", Json.Str profile);
+                   ( "vector",
+                     Json.Arr
+                       (Array.to_list (Array.map (fun x -> Json.Num x) vec))
+                   );
+                 ])
+             r.features) );
+      ( "stages",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("stage", Json.Str s.stage);
+                   ( "fields",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.Num v)) s.fields) );
+                 ])
+             r.stages) );
+      ( "candidates",
+        Json.Arr
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("source", Json.Str c.source);
+                   ("label", Json.Str c.label);
+                   ("score", Json.Num c.score);
+                   ("confidence", Json.Num c.confidence);
+                 ])
+             r.candidates) );
+    ]
+
+let shape_error what = raise (Json.Parse_error ("provenance: bad " ^ what))
+
+let get_str what j =
+  match Json.member what j with
+  | Some (Json.Str s) -> s
+  | _ -> shape_error what
+
+let get_num what j =
+  match Json.member what j with
+  | Some (Json.Num x) -> x
+  | _ -> shape_error what
+
+let get_arr what j =
+  match Json.member what j with
+  | Some (Json.Arr xs) -> xs
+  | _ -> shape_error what
+
+let of_json j =
+  (* Version gate first: a report written by a different schema fails
+     loudly rather than being misread field by field. *)
+  let got =
+    match Json.member "version" j with
+    | Some (Json.Num v) -> int_of_float v
+    | _ -> raise (Version_mismatch { expected = schema_version; got = 0 })
+  in
+  if got <> schema_version then
+    raise (Version_mismatch { expected = schema_version; got });
+  let features =
+    List.map
+      (fun f ->
+        let vec =
+          get_arr "vector" f
+          |> List.map (fun x ->
+                 match Json.to_float x with
+                 | Some v -> v
+                 | None -> shape_error "vector")
+          |> Array.of_list
+        in
+        (get_str "profile" f, vec))
+      (get_arr "features" j)
+  in
+  let stages =
+    List.map
+      (fun s ->
+        let fields =
+          match Json.member "fields" s with
+          | Some (Json.Obj kvs) ->
+            List.map
+              (fun (k, v) ->
+                match Json.to_float v with
+                | Some x -> (k, x)
+                | None -> shape_error "fields")
+              kvs
+          | _ -> shape_error "fields"
+        in
+        { stage = get_str "stage" s; fields })
+      (get_arr "stages" j)
+  in
+  let candidates =
+    List.map
+      (fun c ->
+        {
+          source = get_str "source" c;
+          label = get_str "label" c;
+          score = get_num "score" c;
+          confidence = get_num "confidence" c;
+        })
+      (get_arr "candidates" j)
+  in
+  {
+    version = got;
+    subject = get_str "subject" j;
+    label = get_str "label" j;
+    confidence = get_num "confidence" j;
+    margin = get_num "margin" j;
+    features;
+    stages;
+    candidates;
+  }
+
+let write_jsonl oc r =
+  output_string oc (Json.to_string (to_json r));
+  output_char oc '\n'
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | "" -> go acc
+        | line -> go (of_json (Json.of_string line) :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* rendering -------------------------------------------------------------- *)
+
+let fnum x = Printf.sprintf "%.6g" x
+
+let render r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "verdict: %s  (confidence %s, margin %s, schema v%d)" r.label
+    (fnum r.confidence) (fnum r.margin) r.version;
+  line "subject: %s" r.subject;
+  if r.candidates <> [] then begin
+    line "candidates:";
+    List.iter
+      (fun c ->
+        line "  %-14s %-14s score %-14s confidence %s" c.source c.label
+          (fnum c.score) (fnum c.confidence))
+      r.candidates
+  end;
+  if r.stages <> [] then begin
+    line "stages:";
+    List.iter
+      (fun s ->
+        line "  %-26s %s" s.stage
+          (String.concat " "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (fnum v)) s.fields)))
+      r.stages
+  end;
+  if r.features <> [] then begin
+    line "features:";
+    List.iter
+      (fun (profile, vec) ->
+        line "  %-26s %s" profile
+          (String.concat " " (Array.to_list (Array.map fnum vec))))
+      r.features
+  end;
+  Buffer.contents buf
+
+(* aggregation ------------------------------------------------------------ *)
+
+type dist = { n : int; mean : float; min_v : float; max_v : float }
+
+let dist_of = function
+  | [] -> None
+  | xs ->
+    let n = List.length xs in
+    let sum = List.fold_left ( +. ) 0.0 xs in
+    Some
+      {
+        n;
+        mean = sum /. float_of_int n;
+        min_v = List.fold_left Float.min infinity xs;
+        max_v = List.fold_left Float.max neg_infinity xs;
+      }
+
+let by_label reports =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl r.label) in
+      Hashtbl.replace tbl r.label (r :: prev))
+    reports;
+  Hashtbl.fold (fun label rs acc -> (label, List.rev rs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let grouped_dist proj reports =
+  by_label reports
+  |> List.filter_map (fun (label, rs) ->
+         Option.map (fun d -> (label, d)) (dist_of (List.map proj rs)))
+
+let confidence_dists reports = grouped_dist (fun r -> r.confidence) reports
+let margin_dists reports = grouped_dist (fun r -> r.margin) reports
+
+let render_dists ~header dists =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %6s %10s %10s %10s   (%s)\n" "label" "n" "mean"
+       "min" "max" header);
+  List.iter
+    (fun (label, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %6d %10s %10s %10s\n" label d.n (fnum d.mean)
+           (fnum d.min_v) (fnum d.max_v)))
+    dists;
+  Buffer.contents buf
+
+(* domain-local collection ------------------------------------------------ *)
+
+type collect_state = { mutable depth : int; mutable buffer : report list }
+
+let collect_key =
+  Domain.DLS.new_key (fun () -> { depth = 0; buffer = [] })
+
+let collect_state () = Domain.DLS.get collect_key
+let collecting () = (collect_state ()).depth > 0
+
+let enable_collect () =
+  let s = collect_state () in
+  s.depth <- s.depth + 1
+
+let disable_collect () =
+  let s = collect_state () in
+  if s.depth > 0 then s.depth <- s.depth - 1
+
+let emit r =
+  let s = collect_state () in
+  if s.depth > 0 then s.buffer <- r :: s.buffer
+
+let drain_reports () =
+  let s = collect_state () in
+  let rs = List.rev s.buffer in
+  s.buffer <- [];
+  rs
+
+let absorb_reports rs =
+  let s = collect_state () in
+  s.buffer <- List.rev_append rs s.buffer

@@ -2,11 +2,14 @@ type completed = {
   id : int;
   parent_id : int option;
   name : string;
+  path : string list;
   depth : int;
   wall_start : float;
   wall_stop : float;
   virt_start : float option;
   virt_stop : float option;
+  alloc_words : float;
+  major_collections : int;
   raised : bool;
 }
 
@@ -45,10 +48,18 @@ let off h =
 
 let duration_histogram name = Metrics.histogram ("span." ^ name)
 
-let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
+(* Total words allocated so far in this domain (minor + major, without
+   double-counting promotions). Differences of this quantity across a span
+   are the span's allocation footprint. *)
+let allocated_words (g : Gc.stat) =
+  g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
+
+let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~gc_start
+    ~raised =
   let s = state () in
   let wall_stop = Unix.gettimeofday () in
   let virt_stop = Runtime.virtual_now () in
+  let gc_stop = Gc.quick_stat () in
   (* pop our frame; defensively drop any frames an escaping exception left
      behind above us *)
   let rec pop = function
@@ -57,12 +68,34 @@ let finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised =
     | [] -> []
   in
   s.stack <- pop s.stack;
+  (* After the pop the stack holds exactly our ancestors, innermost first:
+     reverse it for a root-first path and append ourselves. *)
+  let path = List.rev_map snd s.stack @ [ name ] in
   Metrics.observe (duration_histogram name) (wall_stop -. wall_start);
   (match (virt_start, virt_stop) with
   | Some v0, Some v1 when v1 >= v0 -> Metrics.observe (duration_histogram ("virt." ^ name)) (v1 -. v0)
   | _ -> ());
+  let alloc_words =
+    Float.max 0.0 (allocated_words gc_stop -. allocated_words gc_start)
+  in
+  let major_collections =
+    max 0 (gc_stop.Gc.major_collections - gc_start.Gc.major_collections)
+  in
   let c =
-    { id; parent_id; name; depth; wall_start; wall_stop; virt_start; virt_stop; raised }
+    {
+      id;
+      parent_id;
+      name;
+      path;
+      depth;
+      wall_start;
+      wall_stop;
+      virt_start;
+      virt_stop;
+      alloc_words;
+      major_collections;
+      raised;
+    }
   in
   List.iter (fun (_, f) -> f c) s.subscribers
 
@@ -75,15 +108,21 @@ let with_ ~name f =
     let parent_id = match s.stack with [] -> None | (pid, _) :: _ -> Some pid in
     let depth = List.length s.stack in
     s.stack <- (id, name) :: s.stack;
+    let gc_start = Gc.quick_stat () in
     let wall_start = Unix.gettimeofday () in
     let virt_start = Runtime.virtual_now () in
-    match f () with
-    | result ->
-      finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised:false;
-      result
-    | exception e ->
-      finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~raised:true;
-      raise e
+    (* Fun.protect guarantees the frame is popped and the span emitted on
+       every exit path — normal return, exception, even an effect-based
+       unwind — so the stack can never underflow on a later finish. *)
+    let ok = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        finish ~id ~parent_id ~name ~depth ~wall_start ~virt_start ~gc_start
+          ~raised:(not !ok))
+      (fun () ->
+        let result = f () in
+        ok := true;
+        result)
   end
 
 let to_json c =
@@ -92,6 +131,7 @@ let to_json c =
     ([
        ("kind", Json.Str "span");
        ("name", Json.Str c.name);
+       ("path", Json.Str (String.concat ";" c.path));
        ("id", Json.Num (float_of_int c.id));
      ]
     @ (match c.parent_id with
@@ -101,6 +141,8 @@ let to_json c =
         ("depth", Json.Num (float_of_int c.depth));
         ("wall_start", Json.Num c.wall_start);
         ("wall_s", Json.Num (c.wall_stop -. c.wall_start));
+        ("alloc_words", Json.Num c.alloc_words);
+        ("major_collections", Json.Num (float_of_int c.major_collections));
       ]
     @ opt "virt_start" c.virt_start
     @ (match (c.virt_start, c.virt_stop) with
@@ -130,7 +172,10 @@ let chrome_trace spans =
             ((match c.virt_start, c.virt_stop with
              | Some v0, Some v1 -> [ ("virt_s", Json.Num (v1 -. v0)) ]
              | _ -> [])
-            @ [ ("depth", Json.Num (float_of_int c.depth)) ]) );
+            @ [
+                ("depth", Json.Num (float_of_int c.depth));
+                ("alloc_words", Json.Num c.alloc_words);
+              ]) );
       ]
   in
   Json.Obj

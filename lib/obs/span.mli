@@ -1,30 +1,40 @@
 (** Span-based tracing over the thread of execution.
 
     [with_ ~name f] times [f] on the wall clock and — when a simulation is
-    driving (see {!Runtime.set_virtual_clock}) — on the virtual clock too.
-    Nested calls form a tree via parent ids. Every completed span feeds the
-    ["span.<name>"] duration histogram in {!Metrics} (and
-    ["span.virt.<name>"] for virtual time), so per-stage breakdowns need no
-    extra bookkeeping.
+    driving (see {!Runtime.set_virtual_clock}) — on the virtual clock too,
+    and charges [f]'s GC activity (words allocated, major collections) to
+    the span. Nested calls form a tree via parent ids; [path] is the
+    root-first chain of open span names, which is what {!Prof} folds into
+    flamegraph stacks. Every completed span feeds the ["span.<name>"]
+    duration histogram in {!Metrics} (and ["span.virt.<name>"] for virtual
+    time), so per-stage breakdowns need no extra bookkeeping.
 
     When the runtime is not armed, [with_] is [f ()]: one field read, no
     allocation, no clock syscall.
+
+    The body runs under [Fun.protect]: the frame is popped and the span
+    emitted on {e every} exit path, so an escaping exception can never
+    leave the open-span stack unbalanced.
 
     All tracing state (ids, the open-span stack, subscribers) is
     domain-local: concurrent workers trace independently, and span ids are
     unique within a domain — the scope in which parent links are emitted.
     A worker's span durations reach the collector through the
-    {!Metrics.drain}/{!Metrics.absorb} histogram path. *)
+    {!Metrics.drain}/{!Metrics.absorb} histogram path (and its profile
+    through {!Prof.drain}/{!Prof.absorb}). *)
 
 type completed = {
   id : int;
   parent_id : int option;
   name : string;
+  path : string list;  (** root-first open-span names, ending with [name] *)
   depth : int;  (** nesting depth at open time; 0 = root *)
   wall_start : float;  (** [Unix.gettimeofday] seconds *)
   wall_stop : float;
   virt_start : float option;  (** simulation clock, when inside [Sim.run] *)
   virt_stop : float option;
+  alloc_words : float;  (** words allocated while the span was open *)
+  major_collections : int;  (** major GC cycles completed while open *)
   raised : bool;  (** the body escaped with an exception *)
 }
 

@@ -14,4 +14,5 @@ let () =
       ("faults", Test_faults.suite);
       ("engine", Test_engine.suite);
       ("golden", Test_golden.suite);
+      ("provenance", Test_provenance.suite);
     ]

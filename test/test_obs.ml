@@ -208,6 +208,114 @@ let test_json_parser () =
     (Obs.Json.Parse_error "trailing garbage at offset 3") (fun () ->
       ignore (Obs.Json.of_string "{} x"))
 
+(* ---- string escaping: control chars, non-ASCII, \u escapes ---- *)
+
+let test_json_string_escaping () =
+  (* every single-byte string must round trip byte-for-byte, and the
+     encoded form must never contain a raw control character *)
+  for b = 0 to 255 do
+    let s = String.make 1 (Char.chr b) in
+    let encoded = Obs.Json.to_string (Obs.Json.Str s) in
+    String.iter
+      (fun c ->
+        if Char.code c < 0x20 then
+          Alcotest.fail (Printf.sprintf "byte 0x%02x encoded with a raw control char" b))
+      encoded;
+    match Obs.Json.to_str (Obs.Json.of_string encoded) with
+    | Some s' -> Alcotest.(check string) (Printf.sprintf "byte 0x%02x round trips" b) s s'
+    | None -> Alcotest.fail (Printf.sprintf "byte 0x%02x did not decode to a string" b)
+  done;
+  (* multi-byte UTF-8 passes through raw and untouched *)
+  let s = "caf\xc3\xa9 \xe2\x96\x88 \xf0\x9f\x94\xa5" in
+  Alcotest.(check (option string)) "utf-8 passthrough" (Some s)
+    (Obs.Json.to_str (Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Str s))))
+
+let test_json_unicode_escapes () =
+  let decode s = Obs.Json.to_str (Obs.Json.of_string s) in
+  Alcotest.(check (option string)) "ascii escape" (Some "A") (decode {|"\u0041"|});
+  Alcotest.(check (option string)) "2-byte escape" (Some "\xc3\xa9") (decode {|"\u00E9"|});
+  Alcotest.(check (option string)) "3-byte escape" (Some "\xe2\x82\xac")
+    (decode {|"\u20AC"|});
+  Alcotest.(check (option string)) "surrogate pair -> 4-byte scalar"
+    (Some "\xf0\x9f\x98\x80")
+    (decode {|"\uD83D\uDE00"|});
+  Alcotest.(check (option string)) "unpaired high surrogate -> U+FFFD"
+    (Some "\xef\xbf\xbdx")
+    (decode {|"\uD83Dx"|});
+  Alcotest.(check (option string)) "lone low surrogate -> U+FFFD" (Some "\xef\xbf\xbd")
+    (decode {|"\uDC00"|});
+  (* escaped control characters decode back to the raw byte *)
+  Alcotest.(check (option string)) "escaped NUL" (Some "\x00") (decode {|"\u0000"|});
+  Alcotest.(check bool) "malformed hex rejected" true
+    (match decode {|"\u00zz"|} with
+    | exception Obs.Json.Parse_error _ -> true
+    | _ -> false)
+
+(* ---- span path, gc accounting, and the Fun.protect guard ---- *)
+
+let test_span_path_and_alloc () =
+  let completed = ref [] in
+  let handle = Obs.Span.on_complete (fun c -> completed := c :: !completed) in
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner" (fun () ->
+          ignore (Sys.opaque_identity (Array.make 100_000 0.0))));
+  Obs.Span.off handle;
+  let find name = List.find (fun c -> c.Obs.Span.name = name) !completed in
+  Alcotest.(check (list string)) "nested path is root-first" [ "outer"; "inner" ]
+    (find "inner").Obs.Span.path;
+  Alcotest.(check (list string)) "root path is just the root" [ "outer" ]
+    (find "outer").Obs.Span.path;
+  Alcotest.(check bool) "allocation attributed to the allocating span" true
+    ((find "inner").Obs.Span.alloc_words >= 100_000.0);
+  Alcotest.(check bool) "allocation included in the enclosing span" true
+    ((find "outer").Obs.Span.alloc_words >= (find "inner").Obs.Span.alloc_words)
+
+let test_span_unbalanced_exit () =
+  (* the Fun.protect guard: an exception mid-body still pops the stack,
+     reports the span (raised = true), and leaves the tree coherent *)
+  let completed = ref [] in
+  let handle = Obs.Span.on_complete (fun c -> completed := c :: !completed) in
+  (try
+     Obs.Span.with_ ~name:"guard_outer" (fun () ->
+         Obs.Span.with_ ~name:"guard_inner" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  Obs.Span.with_ ~name:"guard_after" (fun () -> ());
+  Obs.Span.off handle;
+  let find name = List.find (fun c -> c.Obs.Span.name = name) !completed in
+  Alcotest.(check bool) "inner flagged raised" true (find "guard_inner").Obs.Span.raised;
+  Alcotest.(check bool) "outer flagged raised" true (find "guard_outer").Obs.Span.raised;
+  Alcotest.(check (list string)) "stack clean: next span is a root again"
+    [ "guard_after" ]
+    (find "guard_after").Obs.Span.path
+
+(* ---- drain/absorb edge cases ---- *)
+
+let test_drain_empty_registry () =
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "empty registry drains to nothing" 0
+    (List.length (Obs.Metrics.drain ()));
+  Obs.Metrics.absorb [];
+  Alcotest.(check int) "absorbing nothing is a no-op" 0
+    (List.length (Obs.Metrics.snapshot ()))
+
+let test_drain_histogram_only () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "t.histonly" in
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let snaps = Obs.Metrics.drain () in
+  Alcotest.(check int) "histogram-only registry drains one snap" 1 (List.length snaps);
+  Alcotest.(check int) "drain resets the registry" 0 (List.length (Obs.Metrics.snapshot ()));
+  (* absorbing the same buffer twice must merge cell-by-cell *)
+  Obs.Metrics.absorb snaps;
+  Obs.Metrics.absorb snaps;
+  match Obs.Metrics.find_histogram "t.histonly" with
+  | Some h' ->
+    Alcotest.(check int) "counts merged" 200 (Obs.Metrics.histogram_count h');
+    Alcotest.(check (float 1.0)) "sums merged" 10_100.0 (Obs.Metrics.histogram_sum h')
+  | None -> Alcotest.fail "histogram missing after absorb"
+
 (* ---- the full measurement event taxonomy ---- *)
 
 let test_measure_event_kinds () =
@@ -253,5 +361,15 @@ let suite =
     Alcotest.test_case "armed run records metrics" `Quick test_armed_run_records;
     Alcotest.test_case "jsonl round trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "json escaping: every byte round trips" `Quick
+      test_json_string_escaping;
+    Alcotest.test_case "json unicode escapes and surrogates" `Quick
+      test_json_unicode_escapes;
+    Alcotest.test_case "span path and gc attribution" `Quick test_span_path_and_alloc;
+    Alcotest.test_case "span guard survives unbalanced exits" `Quick
+      test_span_unbalanced_exit;
+    Alcotest.test_case "drain/absorb: empty registry" `Quick test_drain_empty_registry;
+    Alcotest.test_case "drain/absorb: histogram-only registry" `Quick
+      test_drain_histogram_only;
     Alcotest.test_case "measure emits every stage's events" `Quick test_measure_event_kinds;
   ]

@@ -79,8 +79,43 @@ if ! diff -r test/golden "$golden_tmp"; then
   exit 1
 fi
 
-echo "== bench engine (census serial vs parallel, bench.json) =="
+echo "== explain schema-stability gate (golden fixture) =="
+# The rendered provenance of a pinned fixture must match the committed
+# expectation byte for byte: any schema or numeric drift in the verdict
+# report shows up as a diff here. Then the report must survive a round
+# trip through --provenance JSONL serialization.
+"$cli" explain test/golden/cubic.json >"$tmp1" || {
+  echo "check.sh: explain on the golden fixture exited non-zero" >&2
+  exit 1
+}
+if ! diff tools/expect/explain_cubic.txt "$tmp1"; then
+  echo "check.sh: explain output drifted from tools/expect/explain_cubic.txt" >&2
+  echo "  (if intentional: regenerate with" >&2
+  echo "   dune exec bin/nebby_cli.exe -- explain test/golden/cubic.json > tools/expect/explain_cubic.txt)" >&2
+  exit 1
+fi
+prov_tmp=$(mktemp --suffix=.jsonl)
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp"; rm -rf "$golden_tmp"' EXIT
+"$cli" explain test/golden/cubic.json --provenance "$prov_tmp" >/dev/null || {
+  echo "check.sh: explain --provenance exited non-zero" >&2
+  exit 1
+}
+"$cli" explain "$prov_tmp" >"$tmp2" || {
+  echo "check.sh: explain on the provenance JSONL exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$tmp1" "$tmp2"; then
+  diff "$tmp1" "$tmp2" || true
+  echo "check.sh: provenance JSONL round trip diverged from the direct render" >&2
+  exit 1
+fi
+
+echo "== bench engine + baseline gate (census serial vs parallel, bench.json) =="
+# --baseline writes BENCH_<date>.json and compares the guarded census
+# timings against the committed BENCH_baseline.json; a >25% slowdown
+# fails the gate (exit 1). Without a committed baseline it prints a hint
+# and passes.
 dune exec bench/main.exe -- engine --sites 16 --training-runs 3 \
-  --json bench.json --runtest-s "$runtest_s"
+  --json bench.json --runtest-s "$runtest_s" --baseline --tolerance 0.25
 
 echo "check.sh: all green"
