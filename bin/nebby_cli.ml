@@ -105,6 +105,31 @@ let prof_table_arg =
     value & flag
     & info [ "prof" ] ~doc:"Print the per-stage profiler table after the run.")
 
+let log_level_arg =
+  let levels =
+    [
+      ("quiet", Obs.Runtime.Quiet);
+      ("normal", Obs.Runtime.Normal);
+      ("debug", Obs.Runtime.Debug);
+    ]
+  in
+  let doc =
+    Printf.sprintf
+      "Observability detail: %s. Sets the flight-recorder level (quiet keeps only \
+       anomalies, debug adds per-packet enqueues) and quiet silences non-error notes on \
+       stderr."
+      (Arg.doc_alts_enum levels)
+  in
+  Arg.(
+    value
+    & opt (enum levels) Obs.Runtime.Normal
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+(* informational stderr chatter; errors keep using Printf.eprintf *)
+let note fmt =
+  if Obs.Runtime.level () = Obs.Runtime.Quiet then Printf.ifprintf stderr fmt
+  else Printf.eprintf fmt
+
 let write_file path content =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
@@ -128,6 +153,79 @@ let write_provenance_jsonl path reports =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> List.iter (Obs.Provenance.write_jsonl oc) reports)
 
+(* Golden-fixture replay, shared by `explain` and `report`: parse the
+   committed observation lists back into traces and re-run the
+   preparation pipeline on them. *)
+let jfail what = raise (Obs.Json.Parse_error ("fixture: " ^ what))
+
+let jfloat j =
+  match Obs.Json.to_float j with Some x -> x | None -> jfail "expected a number"
+
+let jstr j = match Obs.Json.to_str j with Some s -> s | None -> jfail "expected a string"
+
+let jlist j =
+  match Obs.Json.to_list j with Some l -> l | None -> jfail "expected an array"
+
+let jmember key j =
+  match Obs.Json.member key j with
+  | Some v -> v
+  | None -> jfail (Printf.sprintf "missing field %S" key)
+
+let obs_of_json j =
+  match jlist j with
+  | time :: dir :: size :: rest ->
+    let dir =
+      if jfloat dir = 0.0 then Netsim.Packet.To_client else Netsim.Packet.To_server
+    in
+    let view =
+      match rest with
+      | [] -> Netsim.Trace.Opaque
+      | [ seq; payload; ack; is_ack ] ->
+        Netsim.Trace.Tcp_view
+          {
+            seq = int_of_float (jfloat seq);
+            payload = int_of_float (jfloat payload);
+            ack = int_of_float (jfloat ack);
+            is_ack = jfloat is_ack <> 0.0;
+          }
+      | _ -> jfail "observation has neither 3 nor 7 fields"
+    in
+    { Netsim.Trace.time = jfloat time; dir; size = int_of_float (jfloat size); view }
+  | _ -> jfail "observation too short"
+
+(* (cca, [(profile, bif estimate, prepared pipeline)]) of a fixture *)
+let fixture_entries fixture =
+  let cca = jstr (jmember "cca" fixture) in
+  let entries =
+    List.map
+      (fun t ->
+        let profile = jstr (jmember "profile" t) in
+        let rtt = jfloat (jmember "rtt" t) in
+        let obs = List.map obs_of_json (jlist (jmember "obs" t)) in
+        let trace = Netsim.Trace.of_observations obs in
+        let bif = Nebby.Bif.estimate trace in
+        (profile, bif, Nebby.Pipeline.prepare ~rtt bif))
+      (jlist (jmember "traces" fixture))
+  in
+  (cca, entries)
+
+let replay_fixture ~control fixture =
+  let cca, entries = fixture_entries fixture in
+  let _, report =
+    Nebby.Measurement.explain_prepared ~control:(Lazy.force control) ~subject:cca entries
+  in
+  report
+
+let reports_of_file ~control target =
+  let text = In_channel.with_open_bin target In_channel.input_all in
+  match Obs.Json.of_string text with
+  | json ->
+    if Obs.Json.member "traces" json <> None then [ replay_fixture ~control json ]
+    else [ Obs.Provenance.of_json json ]
+  | exception Obs.Json.Parse_error _ ->
+    (* not one JSON document: a multi-record provenance JSONL *)
+    Obs.Provenance.read_jsonl target
+
 let print_failure_chain (report : Nebby.Measurement.report) =
   Printf.eprintf "nebby: classification failed after %d attempt%s; reason chain: %s\n"
     report.attempts
@@ -136,11 +234,32 @@ let print_failure_chain (report : Nebby.Measurement.report) =
        (List.map Nebby.Measurement.failure_reason_label report.failures))
 
 let measure_cmd =
-  let run cca proto noise seed runs max_attempts telemetry chrome provenance prof folded
-      prof_json =
+  let flight_arg =
+    let doc =
+      "Write the anomaly-triggered flight-recorder dump (packet-level JSONL) to $(docv); \
+       render it with $(b,nebby report) $(docv). Only written when a trigger fired — any \
+       typed failure, or a verdict under the confidence/margin thresholds."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
+  let flight_confidence_arg =
+    let doc =
+      "Confidence threshold under which a verdict triggers a flight dump (set to 2 to \
+       force a dump on every verdict)."
+    in
+    Arg.(
+      value
+      & opt float Nebby.Measurement.default_config.flight_confidence
+      & info [ "flight-confidence" ] ~docv:"X" ~doc)
+  in
+  let run cca proto noise seed runs max_attempts log_level flight flight_confidence
+      telemetry chrome provenance prof folded prof_json =
+    Obs.Runtime.set_level log_level;
     let control = train runs in
     let plugins = Nebby.Classifier.extended_plugins control in
-    let config = { Nebby.Measurement.default_config with max_attempts } in
+    let config =
+      { Nebby.Measurement.default_config with max_attempts; flight_confidence }
+    in
     let report =
       with_profiling ~prof ~folded ~json:prof_json (fun () ->
           Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
@@ -160,8 +279,24 @@ let measure_cmd =
         | Some p ->
           write_provenance_jsonl path [ p ];
           Printf.printf "provenance : %s\n" path
-        | None -> Printf.eprintf "nebby measure: no verdict report was produced\n")
+        | None -> note "nebby measure: no verdict report was produced\n")
       provenance;
+    Option.iter
+      (fun path ->
+        match report.Nebby.Measurement.flight with
+        | Some dump ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Obs.Flight.write_dump oc dump);
+          Printf.printf "flight dump: %s (trigger: %s, %d events)\n" path
+            dump.Obs.Flight.trigger
+            (List.length dump.Obs.Flight.events)
+        | None ->
+          note
+            "nebby measure: no anomaly triggered a flight dump (force one with \
+             --flight-confidence 2)\n")
+      flight;
     if report.label = "unknown" then begin
       print_failure_chain report;
       exit_unclassified
@@ -172,8 +307,8 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(
       const run $ cca_arg $ proto_arg $ noise_arg $ seed_arg $ runs_arg $ max_attempts_arg
-      $ telemetry_arg $ chrome_arg $ provenance_arg $ prof_table_arg $ prof_folded_arg
-      $ prof_json_arg)
+      $ log_level_arg $ flight_arg $ flight_confidence_arg $ telemetry_arg $ chrome_arg
+      $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
 
 let trace_cmd =
   let run cca proto noise seed =
@@ -197,7 +332,8 @@ let census_cmd =
   let region_arg =
     Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
   in
-  let run sites region proto seed runs jobs provenance prof folded prof_json =
+  let run sites region proto seed runs jobs log_level provenance prof folded prof_json =
+    Obs.Runtime.set_level log_level;
     match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
     | None ->
       Printf.eprintf "nebby census: unknown region %s (expected one of %s)\n" region
@@ -248,7 +384,7 @@ let census_cmd =
   Cmd.v (Cmd.info "census" ~doc)
     Term.(
       const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
-      $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
+      $ log_level_arg $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
 
 let accuracy_cmd =
   let trials_arg =
@@ -302,8 +438,9 @@ let chaos_cmd =
       & info [ "dump-plans" ]
           ~doc:"Print the seeded fault plans of the suite as JSON and exit.")
   in
-  let run ccas families seed runs max_attempts proto jobs telemetry chrome list_families
-      dump_plans =
+  let run ccas families seed runs max_attempts proto jobs log_level telemetry chrome
+      list_families dump_plans =
+    Obs.Runtime.set_level log_level;
     if list_families then begin
       List.iter print_endline Nebby.Chaos.family_names;
       exit_ok
@@ -363,7 +500,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ ccas_arg $ families_arg $ seed_arg $ runs_arg $ max_attempts_arg $ proto_arg
-      $ jobs_arg $ telemetry_arg $ chrome_arg $ list_families_arg $ dump_plans_arg)
+      $ jobs_arg $ log_level_arg $ telemetry_arg $ chrome_arg $ list_families_arg
+      $ dump_plans_arg)
 
 (* `explain TARGET` resolves its target in order: an existing file (a
    golden fixture to replay, a single provenance record, or a provenance
@@ -402,73 +540,9 @@ let explain_cmd =
       value & opt string "Ohio"
       & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point for website-name targets.")
   in
-  let jfail what = raise (Obs.Json.Parse_error ("fixture: " ^ what)) in
-  let jfloat j =
-    match Obs.Json.to_float j with Some x -> x | None -> jfail "expected a number"
-  in
-  let jstr j =
-    match Obs.Json.to_str j with Some s -> s | None -> jfail "expected a string"
-  in
-  let jlist j =
-    match Obs.Json.to_list j with Some l -> l | None -> jfail "expected an array"
-  in
-  let jmember key j =
-    match Obs.Json.member key j with
-    | Some v -> v
-    | None -> jfail (Printf.sprintf "missing field %S" key)
-  in
-  let obs_of_json j =
-    match jlist j with
-    | time :: dir :: size :: rest ->
-      let dir =
-        if jfloat dir = 0.0 then Netsim.Packet.To_client else Netsim.Packet.To_server
-      in
-      let view =
-        match rest with
-        | [] -> Netsim.Trace.Opaque
-        | [ seq; payload; ack; is_ack ] ->
-          Netsim.Trace.Tcp_view
-            {
-              seq = int_of_float (jfloat seq);
-              payload = int_of_float (jfloat payload);
-              ack = int_of_float (jfloat ack);
-              is_ack = jfloat is_ack <> 0.0;
-            }
-        | _ -> jfail "observation has neither 3 nor 7 fields"
-      in
-      { Netsim.Trace.time = jfloat time; dir; size = int_of_float (jfloat size); view }
-    | _ -> jfail "observation too short"
-  in
-  let replay_fixture ~control fixture =
-    let cca = jstr (jmember "cca" fixture) in
-    let entries =
-      List.map
-        (fun t ->
-          let profile = jstr (jmember "profile" t) in
-          let rtt = jfloat (jmember "rtt" t) in
-          let obs = List.map obs_of_json (jlist (jmember "obs" t)) in
-          let trace = Netsim.Trace.of_observations obs in
-          let bif = Nebby.Bif.estimate trace in
-          (profile, bif, Nebby.Pipeline.prepare ~rtt bif))
-        (jlist (jmember "traces" fixture))
-    in
-    let _, report =
-      Nebby.Measurement.explain_prepared ~control:(Lazy.force control) ~subject:cca entries
-    in
-    report
-  in
-  let reports_of_file ~control target =
-    let text = In_channel.with_open_bin target In_channel.input_all in
-    match Obs.Json.of_string text with
-    | json ->
-      if Obs.Json.member "traces" json <> None then [ replay_fixture ~control json ]
-      else [ Obs.Provenance.of_json json ]
-    | exception Obs.Json.Parse_error _ ->
-      (* not one JSON document: a multi-record provenance JSONL *)
-      Obs.Provenance.read_jsonl target
-  in
   let run target training_runs training_quic_runs training_seed sites region proto noise
-      seed provenance prof folded prof_json =
+      seed log_level provenance prof folded prof_json =
+    Obs.Runtime.set_level log_level;
     let control =
       lazy
         (Nebby.Training.train ~runs_per_cca:training_runs
@@ -570,7 +644,201 @@ let explain_cmd =
     Term.(
       const run $ target_arg $ training_runs_arg $ training_quic_runs_arg
       $ training_seed_arg $ sites_arg $ region_arg $ proto_arg $ noise_arg $ seed_arg
-      $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
+      $ log_level_arg $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
+
+(* `report TARGET` renders a self-contained HTML measurement report
+   (inline SVG, no scripts). The target resolves like `explain`'s: a
+   flight dump written by measure --flight, a golden fixture to replay
+   (test/golden/*.json — this path is the report-determinism gate), or a
+   CCA registry name, measured fresh with a forced flight dump. *)
+let report_cmd =
+  let target_arg =
+    let doc =
+      "What to report on: a flight-dump JSONL (written by $(b,measure --flight)), a \
+       golden fixture (test/golden/*.json), or a CCA registry name."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the HTML report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let provenance_from_arg =
+    let doc =
+      "Attach verdict provenance from this JSONL (as written by --provenance) when the \
+       target is a flight dump; the report picks the record whose subject matches the \
+       dump's."
+    in
+    Arg.(value & opt (some string) None & info [ "provenance" ] ~docv:"FILE" ~doc)
+  in
+  let training_runs_arg =
+    let doc = "Training runs per CCA (default: the golden-pinned 4)." in
+    Arg.(value & opt int 4 & info [ "training-runs" ] ~docv:"N" ~doc)
+  in
+  let training_quic_runs_arg =
+    let doc = "QUIC training runs per CCA (default: the golden-pinned 2)." in
+    Arg.(value & opt int 2 & info [ "training-quic-runs" ] ~docv:"N" ~doc)
+  in
+  let training_seed_arg =
+    let doc = "Training seed (default: the golden-pinned 7)." in
+    Arg.(value & opt int 7 & info [ "training-seed" ] ~docv:"SEED" ~doc)
+  in
+  let prof_arg =
+    let doc =
+      "Profile the work that produces the report (training plus the replay or \
+       measurement) and embed the per-stage waterfall in the HTML."
+    in
+    Arg.(value & flag & info [ "prof" ] ~doc)
+  in
+  (* synthesize a replay dump from a fixture's traces: one run per
+     profile, a stage mark plus the BiF series *)
+  let dump_of_entries ~subject entries =
+    let events = ref [] in
+    let seq = ref 0 in
+    let span = ref 0.0 in
+    let push run time kind a detail =
+      events :=
+        { Obs.Flight.seq = !seq; run; time; kind; a; b = 0.0; c = 0.0; detail; extra = "" }
+        :: !events;
+      incr seq;
+      if time > !span then span := time
+    in
+    List.iteri
+      (fun i (profile, bif, _prepared) ->
+        let run = i + 1 in
+        push run 0.0 Obs.Flight.Stage 0.0 ("replay:" ^ profile);
+        List.iter (fun (t, v) -> push run t Obs.Flight.Bif v "") bif)
+      entries;
+    Obs.Flight.make_dump ~subject ~trigger:"replay" ~attempt:1 ~window_s:!span
+      (List.rev !events)
+  in
+  let run target training_runs training_quic_runs training_seed proto noise seed log_level
+      provenance_from prof out =
+    Obs.Runtime.set_level log_level;
+    let control =
+      lazy
+        (Nebby.Training.train ~runs_per_cca:training_runs
+           ~quic_runs_per_cca:training_quic_runs ~seed:training_seed ())
+    in
+    (* --prof profiles the work that produced the report (training plus
+       the replay or measurement) and embeds the waterfall; a plain dump
+       file involves no instrumented work, so its profile is empty and
+       the renderer omits the section. *)
+    let profiled = ref None in
+    let with_prof f =
+      if not prof then f ()
+      else begin
+        let result, profile = Obs.Prof.record f in
+        profiled := Some profile;
+        result
+      end
+    in
+    let emit ~dump ~provenance =
+      let html = Obs.Render.measurement_report ?provenance ?prof:!profiled ~dump () in
+      (match out with
+      | None -> print_string html
+      | Some path ->
+        write_file path html;
+        Printf.printf "report: %s\n" path);
+      exit_ok
+    in
+    try
+      if Sys.file_exists target then begin
+        let text = In_channel.with_open_bin target In_channel.input_all in
+        match Obs.Flight.dump_of_string text with
+        | dump ->
+          let provenance =
+            Option.map
+              (fun path ->
+                let reports = Obs.Provenance.read_jsonl path in
+                match
+                  List.find_opt
+                    (fun (r : Obs.Provenance.report) ->
+                      r.Obs.Provenance.subject = dump.Obs.Flight.subject)
+                    reports
+                with
+                | Some r -> Some r
+                | None ->
+                  note "nebby report: no provenance record matches subject %s\n"
+                    dump.Obs.Flight.subject;
+                  (match reports with r :: _ -> Some r | [] -> None))
+              provenance_from
+          in
+          emit ~dump ~provenance:(Option.join provenance)
+        | exception Obs.Json.Parse_error _ ->
+          (* not a flight dump: try a golden fixture replay *)
+          let fixture = Obs.Json.of_string text in
+          if Obs.Json.member "traces" fixture = None then begin
+            Printf.eprintf
+              "nebby report: %s is neither a flight dump nor a golden fixture\n" target;
+            exit_usage
+          end
+          else begin
+            let cca, entries = fixture_entries fixture in
+            let provenance =
+              with_prof (fun () ->
+                  snd
+                    (Nebby.Measurement.explain_prepared ~control:(Lazy.force control)
+                       ~subject:cca entries))
+            in
+            emit ~dump:(dump_of_entries ~subject:cca entries)
+              ~provenance:(Some provenance)
+          end
+      end
+      else if List.mem target Cca.Registry.all then begin
+        (* force a dump: every verdict is under a threshold of 2 *)
+        let config =
+          { Nebby.Measurement.default_config with flight_confidence = 2.0 }
+        in
+        let report =
+          with_prof (fun () ->
+              let control = Lazy.force control in
+              let plugins = Nebby.Classifier.extended_plugins control in
+              Nebby.Measurement.measure_cca ~control ~plugins ~proto ~noise ~seed ~config
+                target)
+        in
+        match report.Nebby.Measurement.flight with
+        | Some dump -> emit ~dump ~provenance:report.Nebby.Measurement.provenance
+        | None ->
+          Printf.eprintf
+            "nebby report: measurement produced no flight dump (is the recorder \
+             disabled?)\n";
+          exit_internal
+      end
+      else begin
+        Printf.eprintf
+          "nebby report: %s is not a file, a flight dump, or a CCA registry name\n" target;
+        exit_usage
+      end
+    with
+    | Obs.Flight.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby report: flight-dump schema version mismatch (expected %d, got %d); \
+         regenerate the dump with this binary\n"
+        expected got;
+      exit_usage
+    | Obs.Provenance.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby report: provenance schema version mismatch (expected %d, got %d)\n" expected
+        got;
+      exit_usage
+    | Obs.Json.Parse_error msg ->
+      Printf.eprintf "nebby report: %s: %s\n" target msg;
+      exit_usage
+    | Sys_error msg ->
+      Printf.eprintf "nebby report: %s\n" msg;
+      exit_usage
+  in
+  let doc =
+    "Render a self-contained HTML measurement report (BiF timeline with anomaly \
+     annotations, cwnd overlay, frequency spectrum, candidate scores) from a flight dump, \
+     a golden fixture, or a fresh measurement."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ target_arg $ training_runs_arg $ training_quic_runs_arg
+      $ training_seed_arg $ proto_arg $ noise_arg $ seed_arg $ log_level_arg
+      $ provenance_from_arg $ prof_arg $ out_arg)
 
 let stats_cmd =
   let file_arg =
@@ -621,7 +889,10 @@ let () =
   let info = Cmd.info "nebby" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ measure_cmd; trace_cmd; census_cmd; explain_cmd; accuracy_cmd; chaos_cmd; stats_cmd ]
+      [
+        measure_cmd; trace_cmd; census_cmd; explain_cmd; report_cmd; accuracy_cmd;
+        chaos_cmd; stats_cmd;
+      ]
   in
   let code =
     match Cmd.eval_value ~catch:false group with

@@ -42,6 +42,15 @@ let create ?(seed = 1) params =
        paper: "this backoff was not triggered by dropped packets") *)
     cwnd = (fun () -> 30.0 *. mss);
     pacing_rate = (fun () -> if s.now < s.draining_until then Some drain_rate else Some s.rate);
+    snapshot =
+      (fun () ->
+        let draining = s.now < s.draining_until in
+        {
+          Cca_core.snap_cwnd = 30.0 *. mss;
+          snap_ssthresh = None;
+          snap_pacing = Some (if draining then drain_rate else s.rate);
+          snap_mode = (if draining then "drain" else "cruise");
+        });
     on_ack;
     on_loss = (fun _ -> ());
   }

@@ -170,13 +170,32 @@ let create ?(pacing_gain_up = 1.25) variant params =
       end
   in
   let name = match variant with V1 -> "bbr" | V2 -> "bbr2" | V3 -> "bbr3" in
+  let mode_label () =
+    match s.mode with
+    | Startup -> "startup"
+    | Drain -> "drain"
+    | Probe_bw _ -> "probe_bw"
+    | Cruise -> "cruise"
+    | Probe_up -> "probe_up"
+    | Probe_down -> "probe_down"
+    | Probe_rtt _ -> "probe_rtt"
+  in
+  let pacing_rate () =
+    let b = bw s in
+    if b <= 0.0 then None else Some (pacing_gain s *. b)
+  in
   {
     Cca_core.name;
     cwnd = (fun () -> Float.max (s.cwnd) (mss_f s));
-    pacing_rate =
+    pacing_rate;
+    snapshot =
       (fun () ->
-        let b = bw s in
-        if b <= 0.0 then None else Some (pacing_gain s *. b));
+        {
+          Cca_core.snap_cwnd = Float.max s.cwnd (mss_f s);
+          snap_ssthresh = None;
+          snap_pacing = pacing_rate ();
+          snap_mode = mode_label ();
+        });
     on_ack;
     on_loss;
   }

@@ -12,10 +12,18 @@ type ack_event = {
 
 type loss_event = { now : float; inflight : int; by_timeout : bool }
 
+type snapshot = {
+  snap_cwnd : float;
+  snap_ssthresh : float option;
+  snap_pacing : float option;
+  snap_mode : string;
+}
+
 type t = {
   name : string;
   cwnd : unit -> float;
   pacing_rate : unit -> float option;
+  snapshot : unit -> snapshot;
   on_ack : ack_event -> unit;
   on_loss : loss_event -> unit;
 }

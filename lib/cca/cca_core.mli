@@ -24,12 +24,28 @@ type loss_event = {
   by_timeout : bool;  (** RTO rather than fast retransmit *)
 }
 
+(** Introspective view of a CCA's internal state, recorded per ACK by the
+    flight recorder. Units are bytes (bytes/s for pacing); [None] marks a
+    dimension the algorithm does not maintain (ssthresh for rate-based
+    CCAs, pacing for window-only ones). *)
+type snapshot = {
+  snap_cwnd : float;
+  snap_ssthresh : float option;
+  snap_pacing : float option;
+  snap_mode : string;
+      (** algorithm phase, e.g. ["slow_start"], ["avoidance"],
+          ["probe_bw"], ["drain"] — a free-form label, stable per CCA *)
+}
+
 type t = {
   name : string;
   cwnd : unit -> float;  (** current congestion window in bytes *)
   pacing_rate : unit -> float option;
       (** [Some r]: packets must be spaced at [r] bytes/s; [None]: purely
           window/ack-clocked *)
+  snapshot : unit -> snapshot;
+      (** current internal state, for the flight recorder; called only
+          when recording at [Normal] detail or above *)
   on_ack : ack_event -> unit;
   on_loss : loss_event -> unit;
       (** called once per congestion event (not per lost packet) *)

@@ -68,6 +68,17 @@ let create params =
     Cca_core.name = "copa";
     cwnd = (fun () -> s.cwnd *. mss);
     pacing_rate = (fun () -> None);
+    snapshot =
+      (fun () ->
+        {
+          Cca_core.snap_cwnd = s.cwnd *. mss;
+          snap_ssthresh = None;
+          snap_pacing = None;
+          snap_mode =
+            (if s.slow_start then "slow_start"
+             else if s.direction >= 0 then "velocity_up"
+             else "velocity_down");
+        });
     on_ack;
     on_loss;
   }

@@ -48,6 +48,14 @@ let build ~name ~params ?(on_event = fun _ _ -> ()) ~ca_increment ~backoff
     Cca_core.name;
     cwnd = (fun () -> s.cwnd *. mss);
     pacing_rate = (fun () -> None);
+    snapshot =
+      (fun () ->
+        {
+          Cca_core.snap_cwnd = s.cwnd *. mss;
+          snap_ssthresh = Some (s.ssthresh *. mss);
+          snap_pacing = None;
+          snap_mode = (if in_slow_start s then "slow_start" else "avoidance");
+        });
     on_ack;
     on_loss;
   }

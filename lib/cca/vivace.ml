@@ -101,13 +101,22 @@ let create params =
     if ev.now >= s.mi_end then finish_mi ev
   in
   let on_loss _ = s.mi.losses <- s.mi.losses + 1 in
+  let pacing_rate () =
+    let gain = match s.phase with Up -> 1.0 +. epsilon | Down -> 1.0 -. epsilon in
+    Some (s.rate *. gain)
+  in
   {
     Cca_core.name = "vivace";
     cwnd = (fun () -> 400.0 *. mss) (* safeguard only *);
-    pacing_rate =
+    pacing_rate;
+    snapshot =
       (fun () ->
-        let gain = match s.phase with Up -> 1.0 +. epsilon | Down -> 1.0 -. epsilon in
-        Some (s.rate *. gain));
+        {
+          Cca_core.snap_cwnd = 400.0 *. mss;
+          snap_ssthresh = None;
+          snap_pacing = pacing_rate ();
+          snap_mode = (match s.phase with Up -> "probe_up" | Down -> "probe_down");
+        });
     on_ack;
     on_loss;
   }

@@ -19,6 +19,9 @@ type config = {
   backoff_jitter : float;
   retry_budgets : (failure_reason * int) list;
   sleep : float -> unit;
+  flight_window_s : float;
+  flight_confidence : float;
+  flight_margin : float;
 }
 
 let default_config =
@@ -31,6 +34,11 @@ let default_config =
        don't burn the whole attempt budget on it *)
     retry_budgets = [ (Flow_reset, 1); (Timeout, 1); (Trace_truncated, 2) ];
     sleep = ignore;
+    flight_window_s = 10.0;
+    (* confident verdicts sit at confidence ~1 and margins in the tens;
+       anything under these marks is worth a packet-level post-mortem *)
+    flight_confidence = 0.6;
+    flight_margin = 0.5;
   }
 
 let retry_budget config reason =
@@ -43,6 +51,7 @@ type report = {
   failures : failure_reason list;
   backoff_total : float;
   provenance : Obs.Provenance.report option;
+  flight : Obs.Flight.dump option;
 }
 
 let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
@@ -116,6 +125,23 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
   (* jitter draws come from a named substream of the measurement seed, so
      backoff randomization can never perturb the measurement itself *)
   let backoff_rng = Netsim.Rng.named (Netsim.Rng.create seed) "measurement.backoff" in
+  (* Anomaly-triggered flight dump: the first trigger of the measurement —
+     a typed failure (hence also every retry) or a verdict under the
+     confidence/margin thresholds — snapshots the ring's trailing window.
+     First trigger wins: the dump captures the dynamics that first went
+     wrong, not whatever the last attempt happened to look like. Gated on
+     [provenance] like the verdict report: the label-only census discards
+     everything but the label, and materializing a ring snapshot per
+     low-confidence site would dominate that hot path. *)
+  let flight_since = Obs.Flight.mark () in
+  let flight_dump = ref None in
+  let trigger_flight ~attempt ~trigger =
+    if provenance && !flight_dump = None then
+      flight_dump :=
+        Some
+          (Obs.Flight.capture ~subject ~trigger ~attempt ~since:flight_since
+             ~window_s:config.flight_window_s ())
+  in
   let attempt n =
     if Obs.Events.active () then Obs.Events.emit (Obs.Events.Attempt_started { attempt = n });
     let runs =
@@ -130,6 +156,7 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
     if List.exists (fun (_, r) -> r.Testbed.flow_reset) runs then `Failed (Flow_reset, [], None)
     else begin
       match
+        Obs.Flight.stage ~time:0.0 ~name:"prepare";
         let full =
           List.map
             (fun (p, r) ->
@@ -140,6 +167,7 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
             runs
         in
         let prepared = List.map (fun (name, _, prep) -> (name, prep)) full in
+        Obs.Flight.stage ~time:0.0 ~name:"classify";
         let outcome, prov =
           if provenance then begin
             let o, rep = explain_prepared ?plugins ~proto ~control ~subject full in
@@ -177,6 +205,12 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
   let rec go n failures backoff_total =
     match attempt n with
     | `Classified (label, per_profile, prov) ->
+      (match prov with
+      | Some p
+        when p.Obs.Provenance.confidence < config.flight_confidence
+             || p.Obs.Provenance.margin < config.flight_margin ->
+        trigger_flight ~attempt:n ~trigger:"low_confidence"
+      | Some _ | None -> ());
       {
         label;
         attempts = n;
@@ -184,8 +218,10 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
         failures = List.rev failures;
         backoff_total;
         provenance = prov;
+        flight = !flight_dump;
       }
     | `Failed (reason, per_profile, prov) ->
+      trigger_flight ~attempt:n ~trigger:("failure:" ^ failure_reason_label reason);
       if Obs.Events.active () then
         Obs.Events.emit
           (Obs.Events.Attempt_failed { attempt = n; reason = failure_reason_label reason });
@@ -199,6 +235,7 @@ let measure ?plugins ?profiles ?transform ?smoothen ?telemetry ?(noise = Netsim.
           failures = List.rev failures;
           backoff_total;
           provenance = prov;
+          flight = !flight_dump;
         }
       else begin
         let jitter = 1.0 +. (config.backoff_jitter *. Netsim.Rng.float backoff_rng) in

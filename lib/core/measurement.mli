@@ -34,6 +34,15 @@ type config = {
       (** invoked with each backoff delay; defaults to [ignore] because
           the testbed is simulated — a live deployment passes
           [Unix.sleepf] *)
+  flight_window_s : float;
+      (** trailing virtual seconds of each run captured in an anomaly
+          dump (default 10) *)
+  flight_confidence : float;
+      (** verdicts whose confidence falls below this trigger a flight
+          dump (default 0.6; set to 2 to force a dump on every verdict) *)
+  flight_margin : float;
+      (** verdicts whose winning margin falls below this trigger a
+          flight dump (default 0.5) *)
 }
 
 val default_config : config
@@ -55,6 +64,14 @@ type report = {
           that classified, or the last failed attempt); [None] when
           collection was disabled or the pipeline broke before
           classifying *)
+  flight : Obs.Flight.dump option;
+      (** packet-level flight-recorder dump captured at the first anomaly
+          trigger of this measurement — any typed failure (hence every
+          retried attempt), or a verdict under the configured
+          confidence/margin thresholds; [None] when nothing triggered or
+          when [provenance] collection was disabled (the label-only hot
+          path skips dump capture along with verdict reports).
+          Cross-linked to [provenance] by the shared subject id. *)
 }
 
 val classify_trace :

@@ -20,6 +20,10 @@ let run ?(seed = 42) ?(noise = Netsim.Path.quiet) ?(proto = Netsim.Packet.Tcp)
   Obs.Runtime.set_virtual_clock (Some (fun () -> Netsim.Sim.now sim));
   Fun.protect ~finally:(fun () -> Obs.Runtime.set_virtual_clock prev_clock) @@ fun () ->
   Obs.Span.with_ ~name:"simulate" @@ fun () ->
+  (* each simulation is one flight-recorder run: virtual time restarts, so
+     events must not interleave with the previous run's timeline *)
+  ignore (Obs.Flight.new_run ());
+  Obs.Flight.stage ~time:0.0 ~name:("simulate:" ^ profile.Profile.name);
   let rng = Netsim.Rng.create seed in
   let trace = Netsim.Trace.create () in
   let injector = Option.map (fun plan -> Faults.injector ~sim plan) faults in

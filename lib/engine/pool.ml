@@ -16,6 +16,8 @@ let parallel_map ~workers f xs =
   let parent_armed = Obs.Runtime.armed () in
   let parent_profiling = Obs.Prof.profiling () in
   let parent_collecting = Obs.Provenance.collecting () in
+  let parent_level = Obs.Runtime.level () in
+  let parent_flight = Obs.Flight.enabled () in
   let claim s =
     let pos = Atomic.fetch_and_add cursors.(s) 1 in
     if pos < shard_size ~n ~workers s then Some (s + (pos * workers)) else None
@@ -29,6 +31,8 @@ let parallel_map ~workers f xs =
     if parent_armed then Obs.Runtime.arm ();
     if parent_profiling then Obs.Prof.enable ();
     if parent_collecting then Obs.Provenance.enable_collect ();
+    Obs.Runtime.set_level parent_level;
+    Obs.Flight.set_enabled parent_flight;
     let rec drain s stolen =
       match claim s with
       | Some i ->
@@ -46,15 +50,16 @@ let parallel_map ~workers f xs =
     let reports =
       if parent_collecting then Obs.Provenance.drain_reports () else []
     in
-    (Obs.Metrics.drain (), profile, reports)
+    (Obs.Metrics.drain (), profile, reports, Obs.Flight.drain ())
   in
   let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
   let buffers = Array.map Domain.join domains in
   Array.iter
-    (fun (metrics, profile, reports) ->
+    (fun (metrics, profile, reports, flight) ->
       Obs.Metrics.absorb metrics;
       Obs.Prof.absorb profile;
-      Obs.Provenance.absorb_reports reports)
+      Obs.Provenance.absorb_reports reports;
+      Obs.Flight.absorb flight)
     buffers;
   if parent_armed then begin
     Obs.Metrics.add (Obs.Metrics.counter "engine.pool.jobs") n;

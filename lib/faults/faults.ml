@@ -211,6 +211,7 @@ let injected t = t.injected
 
 let fire t ~time ~fault ~detail =
   t.injected <- t.injected + 1;
+  Obs.Flight.fault ~time ~family:fault ~detail;
   if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter "faults.injected");
   if Obs.Events.active () then
     Obs.Events.emit (Obs.Events.Fault_injected { time; fault; detail })

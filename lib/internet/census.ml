@@ -30,6 +30,7 @@ let site_report ~provenance ~control ~proto ~region (site : Website.t) =
       failures = [];
       backoff_total = 0.0;
       provenance = None;
+      flight = None;
     }
   | _ ->
     let cca_name =

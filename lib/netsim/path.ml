@@ -67,7 +67,17 @@ let send t pkt =
     match t.fault with None -> Pass | Some f -> f ~now:(Sim.now t.sim) pkt
   in
   (match decision with
-  | Fault_drop | Fault_delay _ | Fault_duplicate _ -> t.faulted <- t.faulted + 1
+  | Fault_drop | Fault_delay _ | Fault_duplicate _ ->
+    t.faulted <- t.faulted + 1;
+    let family =
+      match decision with
+      | Fault_drop -> "path.drop"
+      | Fault_delay _ -> "path.delay"
+      | Fault_duplicate _ -> "path.duplicate"
+      | Pass -> assert false
+    in
+    Obs.Flight.fault ~time:(Sim.now t.sim) ~family
+      ~detail:(if pkt.Packet.is_ack then "ack" else "data")
   | Pass -> ());
   match decision with
   | Fault_drop -> t.dropped <- t.dropped + 1

@@ -34,9 +34,19 @@ let key =
 
 let state () = Domain.DLS.get key
 
+(* Frame names land in the folded flamegraph format, where ';' separates
+   stack frames and ' ' separates the stack from its sample count — a
+   name containing either would silently corrupt the output (and confuse
+   [is_direct_child]/[leaf_name], which assume ';' only joins frames).
+   Sanitize each component before joining. *)
+let sanitize_frame name =
+  String.map
+    (function ';' -> ':' | ' ' | '\t' | '\n' | '\r' -> '_' | ch -> ch)
+    name
+
 let accumulate (c : Span.completed) =
   let s = state () in
-  let path = String.concat ";" c.Span.path in
+  let path = String.concat ";" (List.map sanitize_frame c.Span.path) in
   let one =
     {
       count = 1;

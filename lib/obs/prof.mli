@@ -52,6 +52,9 @@ val absorb : profile -> unit
 val find : profile -> string -> stat option
 (** Look up one folded path. *)
 
+val leaf_name : string -> string
+(** Last frame of a ';'-joined path (["a;b;c"] → ["c"]). *)
+
 val leaf_totals : profile -> (string * stat) list
 (** Aggregate by leaf span name across all stacks, sorted by name. *)
 

@@ -1,0 +1,473 @@
+(* Self-contained HTML reports over flight dumps: inline SVG and CSS, no
+   scripts, no external assets — a dump becomes one file that renders the
+   paper's BiF-vs-time view with anomaly annotations, the frequency
+   spectrum the segmentation works from, the profiler waterfall and the
+   candidate-score table.
+
+   Everything here must be deterministic: charts are golden-tested byte
+   for byte, so every number goes through a fixed-width format and every
+   iteration order is explicit. No wall-clock values are consulted. *)
+
+let fnum x = Printf.sprintf "%.6g" x
+let coord x = Printf.sprintf "%.2f" x
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+(* Okabe-Ito palette: distinguishable under the common color-vision
+   deficiencies, which matters for drop-vs-fault marks sharing a chart. *)
+let c_bif = "#0072b2"
+let c_cwnd = "#009e73"
+let c_drop = "#d55e00"
+let c_fault = "#e69f00"
+let c_stall = "#cc79a7"
+let c_retx = "#888888"
+let c_axis = "#444444"
+let c_grid = "#dddddd"
+
+(* chart geometry *)
+let cw = 640.0
+let ch = 170.0
+let ml = 64.0
+let mr = 12.0
+let mt = 10.0
+let mb = 26.0
+
+type series = { times : float array; values : float array }
+
+let series_of pairs =
+  {
+    times = Array.of_list (List.map fst pairs);
+    values = Array.of_list (List.map snd pairs);
+  }
+
+let arr_max a = Array.fold_left Float.max neg_infinity a
+let arr_min a = Array.fold_left Float.min infinity a
+
+(* scale helpers: map data space into the plot rectangle *)
+let xpos ~t0 ~t1 t = ml +. ((t -. t0) /. Float.max 1e-9 (t1 -. t0) *. (cw -. ml -. mr))
+let ypos ~vmax v = mt +. ((1.0 -. (v /. Float.max 1e-9 vmax)) *. (ch -. mt -. mb))
+
+let polyline buf ~t0 ~t1 ~vmax ~color ?(dash = "") s =
+  if Array.length s.times >= 2 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.2\"%s points=\""
+         color
+         (if dash = "" then "" else Printf.sprintf " stroke-dasharray=\"%s\"" dash));
+    Array.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (coord (xpos ~t0 ~t1 t));
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (coord (ypos ~vmax s.values.(i))))
+      s.times;
+    Buffer.add_string buf "\"/>\n"
+  end
+
+let vtick buf ~t0 ~t1 ~color ~y0 ~y1 t =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+       (coord (xpos ~t0 ~t1 t)) (coord y0) (coord (xpos ~t0 ~t1 t)) (coord y1) color)
+
+let axes buf ~t0 ~t1 ~vmax ~ylabel =
+  let x0 = ml and x1 = cw -. mr and yb = ch -. mb in
+  (* horizontal gridlines at 1/4, 1/2, 3/4 of the y range *)
+  List.iter
+    (fun f ->
+      let y = mt +. (f *. (ch -. mt -. mb)) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"0.5\"/>\n"
+           (coord x0) (coord y) (coord x1) (coord y) c_grid))
+    [ 0.25; 0.5; 0.75 ];
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+       (coord x0) (coord yb) (coord x1) (coord yb) c_axis);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+       (coord x0) (coord mt) (coord x0) (coord yb) c_axis);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"end\" fill=\"%s\">%s</text>\n"
+       (coord (x0 -. 4.0)) (coord (mt +. 8.0)) c_axis (esc (fnum vmax)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"end\" fill=\"%s\">0</text>\n"
+       (coord (x0 -. 4.0)) (coord yb) c_axis);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"start\" fill=\"%s\">%s s</text>\n"
+       (coord x0) (coord (yb +. 14.0)) c_axis (esc (fnum t0)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"end\" fill=\"%s\">%s s</text>\n"
+       (coord x1) (coord (yb +. 14.0)) c_axis (esc (fnum t1)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"12\" y=\"%s\" font-size=\"10\" fill=\"%s\" transform=\"rotate(-90 12 %s)\" \
+        text-anchor=\"middle\">%s</text>\n"
+       (coord ((mt +. ch -. mb) /. 2.0))
+       c_axis
+       (coord ((mt +. ch -. mb) /. 2.0))
+       (esc ylabel))
+
+let legend_entries entries =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "<p class=\"legend\">";
+  List.iteri
+    (fun i (color, label) ->
+      if i > 0 then Buffer.add_string buf "&#160;&#160;";
+      Buffer.add_string buf
+        (Printf.sprintf "<span style=\"color:%s\">&#9632;</span> %s" color (esc label)))
+    entries;
+  Buffer.add_string buf "</p>\n";
+  Buffer.contents buf
+
+(* one run of the dump: the BiF timeline with cwnd overlay and anomaly
+   marks, the figure the paper reads CCAs from *)
+let timeline_svg ~bif ~cwnd ~drops ~faults ~stalls ~retxs =
+  let buf = Buffer.create 4096 in
+  let t0 = Float.min (arr_min bif.times) 0.0 in
+  let t1 = arr_max bif.times in
+  let vmax =
+    Float.max (arr_max bif.values)
+      (if Array.length cwnd.times > 0 then arr_max cwnd.values else 0.0)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+        xmlns=\"http://www.w3.org/2000/svg\">\n"
+       (coord cw) (coord ch) (coord cw) (coord ch));
+  axes buf ~t0 ~t1 ~vmax ~ylabel:"bytes";
+  let y0 = mt and y1 = ch -. mb in
+  List.iter (vtick buf ~t0 ~t1 ~color:c_fault ~y0 ~y1) faults;
+  List.iter (vtick buf ~t0 ~t1 ~color:c_stall ~y0 ~y1) stalls;
+  List.iter (vtick buf ~t0 ~t1 ~color:c_drop ~y0 ~y1) drops;
+  List.iter (vtick buf ~t0 ~t1 ~color:c_retx ~y0:(y1 -. 10.0) ~y1) retxs;
+  polyline buf ~t0 ~t1 ~vmax ~color:c_bif bif;
+  polyline buf ~t0 ~t1 ~vmax ~color:c_cwnd ~dash:"4 2" cwnd;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+(* Frequency spectrum of a BiF series: resample to a uniform grid, then a
+   small direct DFT over the low bins — the oscillation frequencies that
+   identify a CCA sit far below Nyquist, so 48 bins suffice and the whole
+   thing stays dependency-free. *)
+let spectrum_bins = 48
+let spectrum_grid = 256
+
+let resample s n =
+  let t0 = arr_min s.times and t1 = arr_max s.times in
+  let span = Float.max 1e-9 (t1 -. t0) in
+  let out = Array.make n 0.0 in
+  let m = Array.length s.times in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let t = t0 +. (float_of_int i /. float_of_int (n - 1) *. span) in
+    while !j < m - 2 && s.times.(!j + 1) < t do
+      incr j
+    done;
+    let ta = s.times.(!j) and tb = s.times.(!j + 1) in
+    let va = s.values.(!j) and vb = s.values.(!j + 1) in
+    let f = if tb -. ta <= 1e-12 then 0.0 else (t -. ta) /. (tb -. ta) in
+    out.(i) <- va +. (Float.max 0.0 (Float.min 1.0 f) *. (vb -. va))
+  done;
+  (out, span)
+
+let spectrum_of s =
+  if Array.length s.times < 8 then None
+  else begin
+    let grid, span = resample s spectrum_grid in
+    let n = Array.length grid in
+    let mean = Array.fold_left ( +. ) 0.0 grid /. float_of_int n in
+    let power = Array.make (spectrum_bins + 1) 0.0 in
+    for k = 1 to spectrum_bins do
+      let re = ref 0.0 and im = ref 0.0 in
+      for i = 0 to n - 1 do
+        let phi = 2.0 *. Float.pi *. float_of_int k *. float_of_int i /. float_of_int n in
+        let v = grid.(i) -. mean in
+        re := !re +. (v *. cos phi);
+        im := !im -. (v *. sin phi)
+      done;
+      power.(k) <- ((!re *. !re) +. (!im *. !im)) /. float_of_int n
+    done;
+    Some (power, span)
+  end
+
+let spectrum_svg s =
+  match spectrum_of s with
+  | None -> None
+  | Some (power, span) ->
+    let buf = Buffer.create 2048 in
+    let vmax = Array.fold_left Float.max 1e-9 power in
+    let dominant = ref 1 in
+    Array.iteri (fun k p -> if k >= 1 && p > power.(!dominant) then dominant := k) power;
+    let h = 120.0 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+          xmlns=\"http://www.w3.org/2000/svg\">\n"
+         (coord cw) (coord h) (coord cw) (coord h));
+    let yb = h -. 18.0 in
+    let bar_w = (cw -. ml -. mr) /. float_of_int spectrum_bins in
+    for k = 1 to spectrum_bins do
+      let x = ml +. (float_of_int (k - 1) *. bar_w) in
+      let bh = power.(k) /. vmax *. (yb -. 8.0) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\"/>\n"
+           (coord (x +. 1.0))
+           (coord (yb -. bh))
+           (coord (Float.max 1.0 (bar_w -. 2.0)))
+           (coord bh)
+           (if k = !dominant then c_drop else c_bif))
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+         (coord ml) (coord yb) (coord (cw -. mr)) (coord yb) c_axis);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">dominant %s Hz (bin %d of \
+          %d, window %s s)</text>\n"
+         (coord ml)
+         (coord (h -. 4.0))
+         c_axis
+         (esc (fnum (float_of_int !dominant /. span)))
+         !dominant spectrum_bins (esc (fnum span)));
+    Buffer.add_string buf "</svg>\n";
+    Some (Buffer.contents buf)
+
+(* profiler waterfall: one horizontal bar per stage path, nested by depth,
+   width proportional to inclusive wall time *)
+let waterfall_svg (profile : Prof.profile) =
+  let entries =
+    List.sort (fun (a : Prof.entry) b -> compare a.path b.path) profile
+  in
+  match entries with
+  | [] -> None
+  | _ ->
+    let total =
+      List.fold_left
+        (fun acc (e : Prof.entry) ->
+          if String.contains e.path ';' then acc else acc +. e.stat.Prof.wall_s)
+        0.0 entries
+    in
+    let total = Float.max 1e-9 total in
+    let row_h = 18.0 in
+    let n = List.length entries in
+    let h = (float_of_int n *. row_h) +. 24.0 in
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+          xmlns=\"http://www.w3.org/2000/svg\">\n"
+         (coord cw) (coord h) (coord cw) (coord h));
+    List.iteri
+      (fun i (e : Prof.entry) ->
+        let depth =
+          String.fold_left (fun acc ch -> if ch = ';' then acc + 1 else acc) 0 e.path
+        in
+        let y = 4.0 +. (float_of_int i *. row_h) in
+        let x = 180.0 +. (float_of_int depth *. 14.0) in
+        let w = e.stat.Prof.wall_s /. total *. (cw -. x -. mr -. 80.0) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"4\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s</text>\n"
+             (coord (y +. 11.0)) c_axis (esc (Prof.leaf_name e.path)));
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\" \
+              fill-opacity=\"0.8\"/>\n"
+             (coord x) (coord y)
+             (coord (Float.max 1.0 w))
+             (coord (row_h -. 4.0))
+             c_bif);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s s &#215;%d</text>\n"
+             (coord (x +. Float.max 1.0 w +. 4.0))
+             (coord (y +. 11.0))
+             c_axis
+             (esc (fnum e.stat.Prof.wall_s))
+             e.stat.Prof.count))
+      entries;
+    Buffer.add_string buf "</svg>\n";
+    Some (Buffer.contents buf)
+
+(* dump digestion --------------------------------------------------------- *)
+
+type run_view = {
+  run_id : int;
+  run_stage : string;
+  run_bif : series;
+  run_cwnd : series;
+  run_drops : float list;
+  run_faults : float list;
+  run_stalls : float list;
+  run_retxs : float list;
+  run_modes : (string * string) list;  (* CCA name, last observed mode *)
+}
+
+let runs_of_dump (d : Flight.dump) =
+  let run_ids =
+    List.sort_uniq compare (List.map (fun (e : Flight.event) -> e.run) d.events)
+  in
+  List.map
+    (fun rid ->
+      let evs = List.filter (fun (e : Flight.event) -> e.run = rid) d.events in
+      let of_kind k = List.filter (fun (e : Flight.event) -> e.kind = k) evs in
+      let times k = List.map (fun (e : Flight.event) -> e.time) (of_kind k) in
+      let stage =
+        match of_kind Flight.Stage with
+        | e :: _ -> e.detail
+        | [] -> Printf.sprintf "run %d" rid
+      in
+      let modes =
+        List.fold_left
+          (fun acc (e : Flight.event) ->
+            if e.kind = Flight.Cca_state then
+              (e.detail, e.extra) :: List.remove_assoc e.detail acc
+            else acc)
+          [] evs
+        |> List.sort compare
+      in
+      {
+        run_id = rid;
+        run_stage = stage;
+        run_bif =
+          series_of (List.map (fun (e : Flight.event) -> (e.time, e.a)) (of_kind Flight.Bif));
+        run_cwnd =
+          series_of
+            (List.map (fun (e : Flight.event) -> (e.time, e.a)) (of_kind Flight.Cca_state));
+        run_drops = times Flight.Drop;
+        run_faults = times Flight.Fault;
+        run_stalls = times Flight.Stall;
+        run_retxs = times Flight.Retx;
+        run_modes = modes;
+      })
+    run_ids
+
+(* report assembly -------------------------------------------------------- *)
+
+let style =
+  "body{font-family:sans-serif;margin:24px;max-width:720px;color:#222}\n\
+   h1{font-size:20px}h2{font-size:15px;margin-top:28px;border-bottom:1px solid #ddd}\n\
+   table{border-collapse:collapse;font-size:12px}\n\
+   td,th{border:1px solid #ccc;padding:3px 8px;text-align:left}\n\
+   th{background:#f2f2f2}\n\
+   .meta td{border:none;padding:1px 12px 1px 0}\n\
+   .legend{font-size:11px;color:#444}\n\
+   .note{font-size:12px;color:#666}\n"
+
+let section buf title = Buffer.add_string buf (Printf.sprintf "<h2>%s</h2>\n" (esc title))
+
+let meta_row buf k v =
+  Buffer.add_string buf
+    (Printf.sprintf "<tr><td>%s</td><td><b>%s</b></td></tr>\n" (esc k) (esc v))
+
+let count_kind (d : Flight.dump) k =
+  List.length (List.filter (fun (e : Flight.event) -> e.kind = k) d.events)
+
+let measurement_report ?provenance ?prof ~dump () =
+  let d : Flight.dump = dump in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>nebby report: %s</title>\n" (esc d.subject));
+  Buffer.add_string buf (Printf.sprintf "<style>\n%s</style>\n</head>\n<body>\n" style);
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>nebby measurement report &#8212; %s</h1>\n" (esc d.subject));
+  Buffer.add_string buf "<table class=\"meta\">\n";
+  meta_row buf "trigger" d.trigger;
+  meta_row buf "attempt" (string_of_int d.attempt);
+  meta_row buf "window" (fnum d.window_s ^ " s");
+  meta_row buf "events"
+    (Printf.sprintf "%d (%d drops, %d faults, %d retx, %d stalls)"
+       (List.length d.events) (count_kind d Flight.Drop) (count_kind d Flight.Fault)
+       (count_kind d Flight.Retx) (count_kind d Flight.Stall));
+  (match provenance with
+  | Some (p : Provenance.report) ->
+    meta_row buf "verdict"
+      (Printf.sprintf "%s (confidence %s, margin %s)" p.Provenance.label
+         (fnum p.Provenance.confidence) (fnum p.Provenance.margin))
+  | None -> ());
+  Buffer.add_string buf "</table>\n";
+  let runs = runs_of_dump d in
+  List.iter
+    (fun rv ->
+      if Array.length rv.run_bif.times >= 2 then begin
+        section buf (Printf.sprintf "BiF timeline &#8212; %s" rv.run_stage);
+        (match rv.run_modes with
+        | [] -> ()
+        | modes ->
+          Buffer.add_string buf
+            (Printf.sprintf "<p class=\"note\">CCA state: %s</p>\n"
+               (esc
+                  (String.concat ", "
+                     (List.map (fun (cca, mode) -> cca ^ " [" ^ mode ^ "]") modes)))));
+        Buffer.add_string buf
+          (timeline_svg ~bif:rv.run_bif ~cwnd:rv.run_cwnd ~drops:rv.run_drops
+             ~faults:rv.run_faults ~stalls:rv.run_stalls ~retxs:rv.run_retxs);
+        Buffer.add_string buf
+          (legend_entries
+             ([ (c_bif, "bytes in flight") ]
+             @ (if Array.length rv.run_cwnd.times >= 2 then [ (c_cwnd, "cwnd") ] else [])
+             @ [ (c_drop, "drop"); (c_fault, "fault"); (c_stall, "stall");
+                 (c_retx, "retx") ]));
+        match spectrum_svg rv.run_bif with
+        | Some svg ->
+          section buf (Printf.sprintf "Frequency spectrum &#8212; %s" rv.run_stage);
+          Buffer.add_string buf svg
+        | None -> ()
+      end
+      else begin
+        section buf (Printf.sprintf "Run &#8212; %s" rv.run_stage);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<p class=\"note\">no BiF series recorded (%d anomaly events; record at \
+              normal or debug level for timelines)</p>\n"
+             (List.length rv.run_drops + List.length rv.run_faults
+             + List.length rv.run_stalls + List.length rv.run_retxs))
+      end)
+    runs;
+  (match prof with
+  | Some profile -> (
+    match waterfall_svg profile with
+    | Some svg ->
+      section buf "Per-stage waterfall";
+      Buffer.add_string buf svg
+    | None -> ())
+  | None -> ());
+  (match provenance with
+  | Some (p : Provenance.report) ->
+    section buf "Candidate scores";
+    Buffer.add_string buf
+      "<table><tr><th>source</th><th>label</th><th>score</th><th>confidence</th></tr>\n";
+    List.iter
+      (fun (cand : Provenance.candidate) ->
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+             (esc cand.Provenance.source) (esc cand.Provenance.label)
+             (fnum cand.Provenance.score) (fnum cand.Provenance.confidence)))
+      p.Provenance.candidates;
+    Buffer.add_string buf "</table>\n"
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"note\">flight dump schema v%d &#183; generated by nebby report</p>\n"
+       d.version);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Self-contained HTML measurement reports over {!Flight} dumps.
+
+    {!measurement_report} turns one flight-recorder dump into a single
+    HTML page with inline SVG and CSS — no scripts, no external assets —
+    so a dump travels as one file that opens anywhere. Per simulation
+    run it draws the BiF timeline (the paper's working view of a flow)
+    with the cwnd overlay from CCA snapshots and vertical annotation
+    marks for drops, fault injections, stalls and retransmissions, plus
+    the frequency spectrum of the BiF series (a direct DFT over the low
+    bins, where CCA oscillation frequencies live). When supplied, the
+    report also embeds the per-stage profiler waterfall and the
+    provenance candidate-score table, cross-linking the packet-level
+    evidence to the verdict it produced.
+
+    {b Determinism.} The output is a pure function of its inputs: every
+    float is formatted with a fixed precision, all iteration orders are
+    explicit, and no wall-clock or host-dependent data is consulted.
+    Rendering the same dump twice yields byte-identical HTML — the CLI's
+    report-determinism gate diffs on exactly this. *)
+
+val measurement_report :
+  ?provenance:Provenance.report ->
+  ?prof:Prof.profile ->
+  dump:Flight.dump ->
+  unit ->
+  string
+(** Render [dump] (plus optional verdict provenance and stage profile)
+    to a complete HTML document. Runs whose dump carries fewer than two
+    BiF samples (a quiet-level recording) degrade to an event-count
+    note instead of charts. *)

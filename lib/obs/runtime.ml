@@ -3,10 +3,33 @@
    worker domains can install their clocks and record telemetry without
    racing. A freshly spawned domain starts disarmed; pools that want worker
    telemetry arm inside the worker (see Engine.Pool). *)
-type state = { mutable armed_count : int; mutable vclock : (unit -> float) option }
+type level = Quiet | Normal | Debug
 
-let key = Domain.DLS.new_key (fun () -> { armed_count = 0; vclock = None })
+let level_label = function Quiet -> "quiet" | Normal -> "normal" | Debug -> "debug"
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "normal" -> Some Normal
+  | "debug" -> Some Debug
+  | _ -> None
+
+type level_cell = { mutable current : level }
+
+type state = {
+  mutable armed_count : int;
+  mutable vclock : (unit -> float) option;
+  cell : level_cell;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { armed_count = 0; vclock = None; cell = { current = Normal } })
+
 let state () = Domain.DLS.get key
+
+let level_cell () = (state ()).cell
+let level () = (state ()).cell.current
+let set_level l = (state ()).cell.current <- l
 
 let armed () = (state ()).armed_count > 0
 let arm () = (state ()).armed_count <- (state ()).armed_count + 1

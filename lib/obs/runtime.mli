@@ -13,6 +13,31 @@
     and flushes the worker's domain-local metrics at join (see
     [Engine.Pool] and {!Metrics.drain}). *)
 
+(** Verbosity of continuous recording (the flight recorder's detail
+    level, and the CLI's stderr chattiness). Domain-local, like the rest
+    of the runtime state; worker pools propagate the parent's level into
+    their workers. *)
+type level = Quiet | Normal | Debug
+
+val level : unit -> level
+(** Current level of this domain; [Normal] unless {!set_level} was called. *)
+
+val set_level : level -> unit
+
+type level_cell = { mutable current : level }
+
+val level_cell : unit -> level_cell
+(** The domain-local cell behind {!level}. Hot recording paths (the
+    flight recorder fires per packet) cache this cell in their own
+    domain-local state so a detail-level check costs one field load
+    instead of a second DLS lookup per event. The cell is per-domain and
+    aliases {!set_level}: mutating [current] is exactly [set_level]. *)
+
+val level_label : level -> string
+(** Stable lowercase tag ("quiet" | "normal" | "debug"). *)
+
+val level_of_string : string -> level option
+
 val armed : unit -> bool
 (** True when at least one consumer on this domain wants telemetry
     recorded. *)

@@ -83,15 +83,23 @@ let retransmissions t = t.retransmissions
 let bytes_acked t = t.snd_una
 let was_reset t = t.dead
 
-let stall t ~until = t.stalled_until <- Float.max t.stalled_until until
+let stall t ~until =
+  t.stalled_until <- Float.max t.stalled_until until;
+  Obs.Flight.stall ~time:(Netsim.Sim.now t.sim) ~until:t.stalled_until
 
 let reset t =
   t.dead <- true;
   (* invalidate the pending RTO so the dead sender never wakes up *)
   t.rto_epoch <- t.rto_epoch + 1
 
-let sample_bif t =
-  t.rev_bif <- (Netsim.Sim.now t.sim, inflight t) :: t.rev_bif
+(* The ground-truth BiF log samples on both clocks; the flight recorder
+   keeps the ACK-clock samples at Normal and the (equally numerous)
+   send-clock ones only at Debug. *)
+let sample_bif ?(send = false) t =
+  let now = Netsim.Sim.now t.sim in
+  t.rev_bif <- (now, inflight t) :: t.rev_bif;
+  if send then Obs.Flight.bif_send ~time:now ~bytes:(inflight t)
+  else Obs.Flight.bif ~time:now ~bytes:(inflight t)
 
 
 (* BBR-style rate sample: the delivery progress made while [seg] was in
@@ -128,6 +136,7 @@ and emit t seg ~retx =
   if retx then begin
     seg.retx <- true;
     t.retransmissions <- t.retransmissions + 1;
+    Obs.Flight.retx ~time:now ~seq:seg.seq;
     if Obs.Runtime.armed () then
       Obs.Metrics.incr (Obs.Metrics.counter "transport.retransmissions");
     if Obs.Events.active () then
@@ -138,7 +147,7 @@ and emit t seg ~retx =
   in
   t.next_pkt_id <- t.next_pkt_id + 1;
   t.out pkt;
-  sample_bif t
+  sample_bif ~send:true t
 
 and try_send t =
   if not t.send_scheduled then send_loop t
@@ -310,6 +319,12 @@ let handle_ack t (pkt : Netsim.Packet.t) =
       Obs.Events.emit
         (Obs.Events.Cwnd_update
            { time = now; cca = t.cca.Cca.name; cwnd = t.cca.Cca.cwnd (); inflight = inflight t });
+    if Obs.Flight.want_cca_state () then begin
+      let snap = t.cca.Cca.snapshot () in
+      Obs.Flight.cca_state ~time:now ~cca:t.cca.Cca.name ~cwnd:snap.Cca.snap_cwnd
+        ~ssthresh:snap.Cca.snap_ssthresh ~pacing:snap.Cca.snap_pacing
+        ~mode:snap.Cca.snap_mode
+    end;
     sample_bif t;
     if not (finished t) then arm_rto t else t.rto_epoch <- t.rto_epoch + 1;
     try_send t

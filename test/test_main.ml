@@ -15,4 +15,5 @@ let () =
       ("engine", Test_engine.suite);
       ("golden", Test_golden.suite);
       ("provenance", Test_provenance.suite);
+      ("flight", Test_flight.suite);
     ]

@@ -110,6 +110,44 @@ if ! cmp -s "$tmp1" "$tmp2"; then
   exit 1
 fi
 
+echo "== report determinism gate (golden fixture -> HTML) =="
+# The HTML report of a pinned fixture must match the committed expectation
+# byte for byte: charts, spectrum and candidate table are a pure function
+# of the dump, with no wall-clock or host-dependent data.
+"$cli" report test/golden/cubic.json -o "$tmp1" >/dev/null || {
+  echo "check.sh: report on the golden fixture exited non-zero" >&2
+  exit 1
+}
+if ! diff tools/expect/report_cubic.html "$tmp1"; then
+  echo "check.sh: report output drifted from tools/expect/report_cubic.html" >&2
+  echo "  (if intentional: regenerate with" >&2
+  echo "   dune exec bin/nebby_cli.exe -- report test/golden/cubic.json -o tools/expect/report_cubic.html)" >&2
+  exit 1
+fi
+# A forced low-confidence measurement must produce a flight dump that
+# renders byte-identically across two runs.
+flight_tmp=$(mktemp --suffix=.jsonl)
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp"' EXIT
+"$cli" measure --cca cubic --training-runs 3 --seed 1234 \
+  --flight-confidence 2 --flight "$flight_tmp" >/dev/null || true
+if [ ! -s "$flight_tmp" ]; then
+  echo "check.sh: measure --flight-confidence 2 produced no flight dump" >&2
+  exit 1
+fi
+"$cli" report "$flight_tmp" -o "$tmp1" >/dev/null || {
+  echo "check.sh: report on the flight dump exited non-zero" >&2
+  exit 1
+}
+"$cli" report "$flight_tmp" -o "$tmp2" >/dev/null || {
+  echo "check.sh: report on the flight dump exited non-zero on second run" >&2
+  exit 1
+}
+if ! cmp -s "$tmp1" "$tmp2"; then
+  diff "$tmp1" "$tmp2" || true
+  echo "check.sh: flight-dump report is not deterministic" >&2
+  exit 1
+fi
+
 echo "== bench engine + baseline gate (census serial vs parallel, bench.json) =="
 # --baseline writes BENCH_<date>.json and compares the guarded census
 # timings against the committed BENCH_baseline.json; a >25% slowdown
@@ -117,5 +155,19 @@ echo "== bench engine + baseline gate (census serial vs parallel, bench.json) ==
 # and passes.
 dune exec bench/main.exe -- engine --sites 16 --training-runs 3 \
   --json bench.json --runtest-s "$runtest_s" --baseline --tolerance 0.25
+
+echo "== flight-recorder overhead gate (<=5% on the labels census) =="
+# The always-on recorder's budget is <3% over the labels-only census; the
+# gate allows 5% to absorb scheduler noise in the short check run.
+overhead=$(sed -n 's/.*"census_flight_overhead_frac": \([-0-9.eE+]*\).*/\1/p' bench.json)
+if [ -z "$overhead" ]; then
+  echo "check.sh: bench.json carries no census_flight_overhead_frac" >&2
+  exit 1
+fi
+if ! awk -v x="$overhead" 'BEGIN { exit (x <= 0.05) ? 0 : 1 }'; then
+  echo "check.sh: flight recorder overhead ${overhead} exceeds the 5% gate" >&2
+  exit 1
+fi
+echo "(flight recorder overhead: ${overhead})"
 
 echo "check.sh: all green"
