@@ -16,6 +16,13 @@ let training_runs = ref None
 let json_out = ref None
 let runtest_s = ref None
 
+(* multi-seed sweeps: --seeds N / --seed-list a,b,c resolve through the
+   same validator the campaign and chaos CLIs use, so the vocabulary and
+   error messages match *)
+let seeds_count = ref None
+let seed_list = ref None
+let history_mode = ref false
+
 (* perf-regression ledger: --baseline writes BENCH_<date>.json and compares
    the guarded hot-path metrics against a committed baseline file, exiting
    nonzero when any of them slows down by more than --tolerance *)
@@ -102,6 +109,57 @@ let check_baseline current_path =
         !baseline_file;
       1
     end
+  end
+
+(* --history: fold every committed BENCH_*.json ledger into one trend
+   table, oldest first — the stdout twin of the campaign dashboard's
+   sparklines (which read the same files). *)
+let history_columns =
+  [
+    ("census_serial_s", "serial_s");
+    ("census_parallel_s", "parallel_s");
+    ("census_speedup", "speedup");
+    ("census_sites_per_s", "sites_per_s");
+    ("census_flight_overhead_frac", "flight_ovh");
+    ("census_provenance_overhead_frac", "prov_ovh");
+    ("runtest_s", "runtest_s");
+    ("bench_total_s", "total_s");
+  ]
+
+let history () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    pf "no BENCH_*.json ledgers found in %s\n" (Sys.getcwd ());
+    0
+  end
+  else begin
+    pf "%-24s" "ledger";
+    List.iter (fun (_, label) -> pf " %12s" label) history_columns;
+    pf "\n";
+    List.iter
+      (fun file ->
+        match read_json_file file with
+        | json ->
+          pf "%-24s" (Filename.remove_extension file);
+          List.iter
+            (fun (key, _) ->
+              match Option.bind (Obs.Json.member key json) Obs.Json.to_float with
+              | Some v -> pf " %12.4g" v
+              | None -> pf " %12s" "-")
+            history_columns;
+          pf "\n"
+        | exception Obs.Json.Parse_error msg -> pf "%-24s (unreadable: %s)\n" file msg)
+      files;
+    pf "(%d ledger%s; campaign dashboards sparkline the same files)\n" (List.length files)
+      (if List.length files = 1 then "" else "s");
+    0
   end
 
 let sparkline values =
@@ -927,6 +985,9 @@ let engine () =
   record_json "jobs" (string_of_int jobs);
   record_json_f "census_serial_s" serial_s;
   record_json_f "census_parallel_s" parallel_s;
+  (* the throughput the campaign gate floors: measured sites per wall
+     second on the parallel path *)
+  record_json_f "census_sites_per_s" (float_of_int !sites /. Float.max 1e-9 parallel_s);
   (* On a single-core host the parallel run measures only domain
      bookkeeping, so the speedup is noise: record null (the baseline
      gate's float lookup skips it) plus a note saying why. *)
@@ -1045,6 +1106,15 @@ let () =
     | "--seed" :: n :: rest ->
       seed := int_of_string n;
       parse selected rest
+    | "--seeds" :: n :: rest ->
+      seeds_count := Some (int_of_string n);
+      parse selected rest
+    | "--seed-list" :: s :: rest ->
+      seed_list := Some (List.map int_of_string (String.split_on_char ',' s));
+      parse selected rest
+    | "--history" :: rest ->
+      history_mode := true;
+      parse selected rest
     | "--full" :: rest ->
       sites := 20_000;
       trials := 100;
@@ -1070,8 +1140,26 @@ let () =
     | name :: rest -> parse (name :: selected) rest
   in
   let selected = parse [] args in
-  if List.mem "--perf" selected then perf ()
+  if !history_mode then exit (history ())
+  else if List.mem "--perf" selected then perf ()
   else begin
+    let seeds =
+      match
+        Obs.Campaign.resolve_seeds ?count:!seeds_count ?seed_list:!seed_list ~base:!seed ()
+      with
+      | Ok seeds -> seeds
+      | Error msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        exit 2
+    in
+    (* a ledger holds one run's metrics; a multi-seed sweep would overwrite
+       itself, so refuse rather than silently keep the last seed *)
+    if List.length seeds > 1 && (!json_out <> None || !baseline_mode) then begin
+      Printf.eprintf
+        "bench: --seeds/--seed-list with more than one seed cannot write a single \
+         --json/--baseline ledger; run one seed per ledger\n";
+      exit 2
+    end;
     let chosen = List.filter (fun s -> s <> "--perf") selected in
     let to_run =
       if chosen = [] then experiments
@@ -1091,7 +1179,13 @@ let () =
         (fun (a, _) (b, _) -> compare (List.assoc a order) (List.assoc b order))
         to_run
     in
-    Obs.Span.with_ ~name:"bench" (fun () -> List.iter (fun (_, f) -> f ()) to_run);
+    Obs.Span.with_ ~name:"bench" (fun () ->
+        List.iter
+          (fun s ->
+            seed := s;
+            if List.length seeds > 1 then pf "\n=== seed %d ===\n" s;
+            List.iter (fun (_, f) -> f ()) to_run)
+          seeds);
     pf "\nper-stage time breakdown (obs spans):\n";
     pf "  %-10s %8s %10s %10s %10s %10s\n" "stage" "calls" "total(s)" "p50(s)" "p90(s)" "p99(s)";
     List.iter

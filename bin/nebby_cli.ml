@@ -59,6 +59,30 @@ let jobs_arg =
 
 let resolve_jobs = function 0 -> Engine.Pool.default_jobs () | n -> max 1 n
 
+(* Multi-seed fan-out: campaign and chaos share one --seeds/--seed-list
+   vocabulary (and the bench harness accepts the same pair), all resolved
+   through Obs.Campaign.resolve_seeds so the validation and the error
+   messages are identical everywhere. *)
+let seeds_count_arg =
+  let doc =
+    "Fan the command across $(docv) consecutive seeds starting at --seed (alternative to \
+     --seed-list)."
+  in
+  Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N" ~doc)
+
+let seed_list_arg =
+  let doc =
+    "Fan the command across exactly these comma-separated seeds (alternative to --seeds)."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "seed-list" ] ~docv:"A,B,C" ~doc)
+
+let resolve_seed_spec ~cmd ?count ?seed_list ~base () =
+  match Obs.Campaign.resolve_seeds ?count ?seed_list ~base () with
+  | Ok seeds -> Some seeds
+  | Error msg ->
+    Printf.eprintf "nebby %s: %s\n" cmd msg;
+    None
+
 let train runs = Nebby.Training.train ~runs_per_cca:runs ()
 
 let default_telemetry_file = "nebby-telemetry.jsonl"
@@ -438,8 +462,8 @@ let chaos_cmd =
       & info [ "dump-plans" ]
           ~doc:"Print the seeded fault plans of the suite as JSON and exit.")
   in
-  let run ccas families seed runs max_attempts proto jobs log_level telemetry chrome
-      list_families dump_plans =
+  let run ccas families seed count seed_list runs max_attempts proto jobs log_level
+      telemetry chrome list_families dump_plans =
     Obs.Runtime.set_level log_level;
     if list_families then begin
       List.iter print_endline Nebby.Chaos.family_names;
@@ -473,23 +497,36 @@ let chaos_cmd =
         exit_usage
       end
       else begin
-        let control = train runs in
-        let config = { Nebby.Measurement.default_config with max_attempts } in
-        let matrix =
-          Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
-              Nebby.Chaos.run_matrix ?ccas ?families ~config ~seed ~proto
-                ~jobs:(resolve_jobs jobs) ~control ())
-        in
-        print_string (Nebby.Chaos.render matrix);
-        Option.iter (Printf.printf "\ntelemetry  : %s\n") telemetry;
-        if matrix.Nebby.Chaos.violations <> [] then begin
-          Printf.eprintf
-            "nebby chaos: resilience invariant broken: %d cell(s) ended unknown without a \
-             reason chain\n"
-            (List.length matrix.Nebby.Chaos.violations);
-          exit_internal
-        end
-        else exit_ok
+        match resolve_seed_spec ~cmd:"chaos" ?count ?seed_list ~base:seed () with
+        | None -> exit_usage
+        | Some seeds ->
+          let control = train runs in
+          let config = { Nebby.Measurement.default_config with max_attempts } in
+          let matrices =
+            Obs.Telemetry.record ?jsonl:telemetry ?chrome (fun () ->
+                List.map
+                  (fun seed ->
+                    Nebby.Chaos.run_matrix ?ccas ?families ~config ~seed ~proto
+                      ~jobs:(resolve_jobs jobs) ~control ())
+                  seeds)
+          in
+          let violations = ref 0 in
+          List.iter2
+            (fun seed matrix ->
+              if List.length seeds > 1 then Printf.printf "=== seed %d ===\n" seed;
+              print_string (Nebby.Chaos.render matrix);
+              if List.length seeds > 1 then print_newline ();
+              violations := !violations + List.length matrix.Nebby.Chaos.violations)
+            seeds matrices;
+          Option.iter (Printf.printf "\ntelemetry  : %s\n") telemetry;
+          if !violations > 0 then begin
+            Printf.eprintf
+              "nebby chaos: resilience invariant broken: %d cell(s) ended unknown \
+               without a reason chain\n"
+              !violations;
+            exit_internal
+          end
+          else exit_ok
       end
     end
   in
@@ -499,9 +536,9 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ ccas_arg $ families_arg $ seed_arg $ runs_arg $ max_attempts_arg $ proto_arg
-      $ jobs_arg $ log_level_arg $ telemetry_arg $ chrome_arg $ list_families_arg
-      $ dump_plans_arg)
+      const run $ ccas_arg $ families_arg $ seed_arg $ seeds_count_arg $ seed_list_arg
+      $ runs_arg $ max_attempts_arg $ proto_arg $ jobs_arg $ log_level_arg $ telemetry_arg
+      $ chrome_arg $ list_families_arg $ dump_plans_arg)
 
 (* `explain TARGET` resolves its target in order: an existing file (a
    golden fixture to replay, a single provenance record, or a provenance
@@ -840,6 +877,253 @@ let report_cmd =
       $ training_seed_arg $ proto_arg $ noise_arg $ seed_arg $ log_level_arg
       $ provenance_from_arg $ prof_arg $ out_arg)
 
+(* `campaign` fans one experiment across N seeds, streams per-seed
+   records into a schema-versioned JSONL store, aggregates per-cell
+   statistics into a deterministic summary JSON, renders the HTML
+   dashboard, and evaluates the pass gates. The summary and dashboard
+   are byte-identical for every worker count (check.sh diffs jobs=1
+   against jobs=4); wall-clock values only enter through --bench-json,
+   which is the same file either way. *)
+let campaign_cmd =
+  let experiment_arg =
+    let doc = "Experiment to fan out: accuracy, census, or chaos." in
+    Arg.(value & pos 0 string "accuracy" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let sites_arg =
+    Arg.(
+      value & opt int 80
+      & info [ "sites" ] ~docv:"N" ~doc:"Census population size per seed.")
+  in
+  let region_arg =
+    Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
+  in
+  let out_arg =
+    let doc = "Per-seed result store (schema-versioned JSONL), written as seeds finish." in
+    Arg.(value & opt string "campaign-runs.jsonl" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let summary_arg =
+    let doc = "Aggregated summary JSON (cells, confusion, outliers, gate results)." in
+    Arg.(value & opt string "campaign-summary.json" & info [ "summary" ] ~docv:"FILE" ~doc)
+  in
+  let html_arg =
+    let doc = "Self-contained HTML dashboard." in
+    Arg.(value & opt string "campaign-dashboard.html" & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let from_arg =
+    let doc =
+      "Skip measuring: aggregate an existing store (as written by --out) instead. The \
+       store's own experiment tag wins over $(i,EXPERIMENT)."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"STORE" ~doc)
+  in
+  let bench_json_arg =
+    let doc =
+      "Bench ledger (bench --json output) feeding the wall-clock gates — census \
+       throughput floor and flight/provenance overhead ceilings. Without it those gates \
+       are skipped, keeping the campaign outputs free of this host's wall clock."
+    in
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let no_gates_arg =
+    Arg.(
+      value & flag
+      & info [ "no-gates" ]
+          ~doc:"Evaluate no pass gates: aggregate, render, and exit 0 regardless.")
+  in
+  let accuracy_floor_arg =
+    let doc = "Override the overall mean-accuracy floor gate." in
+    Arg.(value & opt (some float) None & info [ "accuracy-floor" ] ~docv:"X" ~doc)
+  in
+  let ci_ceiling_arg =
+    let doc = "Override the CI-width ceiling gate on the overall accuracy." in
+    Arg.(value & opt (some float) None & info [ "ci-width-ceiling" ] ~docv:"X" ~doc)
+  in
+  (* every numeric field of a bench ledger becomes a gate extra; the
+     derived census_sites_per_s throughput joins them when the ledger
+     predates the bench recording it directly *)
+  let bench_extras path =
+    let j = Obs.Json.of_string (In_channel.with_open_bin path In_channel.input_all) in
+    let fields =
+      match j with
+      | Obs.Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun x -> (k, x)) (Obs.Json.to_float v))
+          kvs
+      | _ -> []
+    in
+    if List.mem_assoc "census_sites_per_s" fields then fields
+    else
+      match
+        (List.assoc_opt "census_sites" fields, List.assoc_opt "census_parallel_s" fields)
+      with
+      | Some sites, Some secs when secs > 0.0 ->
+        fields @ [ ("census_sites_per_s", sites /. secs) ]
+      | _ -> fields
+  in
+  (* sparkline history: every committed BENCH_*.json in the working
+     directory, in name order (BENCH_baseline.json, then dated ledgers) *)
+  let trend_metrics =
+    [
+      "census_parallel_s"; "census_flight_overhead_frac"; "census_provenance_overhead_frac";
+    ]
+  in
+  let trend_series () =
+    let files =
+      Sys.readdir "." |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    let ledgers =
+      List.filter_map
+        (fun f ->
+          match Obs.Json.of_string (In_channel.with_open_bin f In_channel.input_all) with
+          | j -> Some (f, j)
+          | exception _ -> None)
+        files
+    in
+    List.filter_map
+      (fun metric ->
+        let pts =
+          List.filter_map
+            (fun (f, j) ->
+              Option.map
+                (fun v -> (Filename.remove_extension f, v))
+                (Option.bind (Obs.Json.member metric j) Obs.Json.to_float))
+            ledgers
+        in
+        if pts = [] then None else Some (metric, pts))
+      trend_metrics
+  in
+  let override_gates ~accuracy_floor ~ci_ceiling gates =
+    List.map
+      (fun (g : Obs.Campaign.gate) ->
+        match (g.Obs.Campaign.metric, g.Obs.Campaign.gstat, g.Obs.Campaign.op) with
+        | "accuracy", Obs.Campaign.Mean, Obs.Campaign.Floor ->
+          { g with Obs.Campaign.bound = Option.value ~default:g.Obs.Campaign.bound accuracy_floor }
+        | "accuracy", Obs.Campaign.Ci_width, Obs.Campaign.Ceiling ->
+          { g with Obs.Campaign.bound = Option.value ~default:g.Obs.Campaign.bound ci_ceiling }
+        | _ -> g)
+      gates
+  in
+  let run experiment seed count seed_list jobs runs sites region proto log_level out
+      summary_path html_path from bench_json no_gates accuracy_floor ci_ceiling =
+    Obs.Runtime.set_level log_level;
+    try
+      match Internet.Campaign_runner.experiment_of_name experiment with
+      | Error msg when from = None ->
+        Printf.eprintf "nebby campaign: %s\n" msg;
+        exit_usage
+      | experiment_result -> (
+        match
+          List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all
+        with
+        | None ->
+          Printf.eprintf "nebby campaign: unknown region %s (expected one of %s)\n" region
+            (String.concat ", " (List.map Internet.Region.name Internet.Region.all));
+          exit_usage
+        | Some region -> (
+          match resolve_seed_spec ~cmd:"campaign" ?count ?seed_list ~base:seed () with
+          | None -> exit_usage
+          | Some seeds ->
+            let experiment_tag, seed_runs =
+              match from with
+              | Some store ->
+                let tag, stored = Obs.Campaign.read_store store in
+                note "nebby campaign: aggregating %d stored run(s) from %s\n"
+                  (List.length stored) store;
+                (tag, stored)
+              | None ->
+                let experiment =
+                  match experiment_result with Ok e -> e | Error _ -> assert false
+                in
+                let control = train runs in
+                let oc = open_out out in
+                let stored =
+                  Fun.protect
+                    ~finally:(fun () -> close_out_noerr oc)
+                    (fun () ->
+                      Obs.Campaign.write_header oc
+                        ~experiment:(Internet.Campaign_runner.experiment_name experiment)
+                        ~runs:(List.length seeds);
+                      Internet.Campaign_runner.run ~jobs:(resolve_jobs jobs)
+                        ~emit:(fun i r ->
+                          Obs.Campaign.write_seed_line oc r;
+                          flush oc;
+                          note "nebby campaign: seed %d done (%d/%d)\n"
+                            r.Obs.Campaign.seed (i + 1) (List.length seeds))
+                        ~sites ~proto ~region ~control experiment ~seeds)
+                in
+                (Internet.Campaign_runner.experiment_name experiment, stored)
+            in
+            let summary = Obs.Campaign.aggregate ~experiment:experiment_tag seed_runs in
+            let extra =
+              match bench_json with None -> [] | Some path -> bench_extras path
+            in
+            let gates =
+              if no_gates then []
+              else
+                match Internet.Campaign_runner.experiment_of_name experiment_tag with
+                | Ok e ->
+                  override_gates ~accuracy_floor ~ci_ceiling
+                    (Internet.Campaign_runner.default_gates e)
+                | Error _ -> []
+            in
+            let results = Obs.Campaign.evaluate ~gates ~extra summary in
+            write_file summary_path
+              (Obs.Json.to_string (Obs.Campaign.summary_to_json ~gates:results summary)
+              ^ "\n");
+            write_file html_path
+              (Obs.Render.campaign_dashboard ~trend:(trend_series ()) ~gates:results
+                 ~summary ());
+            print_string (Obs.Campaign.render ~gates:results summary);
+            if from = None then Printf.printf "\nstore     : %s\n" out
+            else Printf.printf "\nstore     : %s (aggregated)\n"
+                   (Option.value ~default:out from);
+            Printf.printf "summary   : %s\ndashboard : %s\n" summary_path html_path;
+            if Obs.Campaign.gates_pass results then exit_ok
+            else begin
+              let failed =
+                List.filter
+                  (fun (r : Obs.Campaign.gate_result) -> r.Obs.Campaign.status = Obs.Campaign.Fail)
+                  results
+              in
+              Printf.eprintf "nebby campaign: %d gate(s) failed: %s\n" (List.length failed)
+                (String.concat ", "
+                   (List.map
+                      (fun (r : Obs.Campaign.gate_result) ->
+                        r.Obs.Campaign.gate.Obs.Campaign.gate_name)
+                      failed));
+              exit_unclassified
+            end))
+    with
+    | Obs.Campaign.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby campaign: store schema version mismatch (expected %d, got %d); regenerate \
+         the store with this binary\n"
+        expected got;
+      exit_usage
+    | Obs.Json.Parse_error msg ->
+      Printf.eprintf "nebby campaign: %s\n" msg;
+      exit_usage
+    | Sys_error msg ->
+      Printf.eprintf "nebby campaign: %s\n" msg;
+      exit_usage
+  in
+  let doc =
+    "Fan an experiment across many seeds, aggregate per-cell statistics (mean, stddev, \
+     95% CI), render the HTML dashboard, and evaluate pass gates (non-zero exit on any \
+     failure)."
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ experiment_arg $ seed_arg $ seeds_count_arg $ seed_list_arg $ jobs_arg
+      $ runs_arg $ sites_arg $ region_arg $ proto_arg $ log_level_arg $ out_arg
+      $ summary_arg $ html_arg $ from_arg $ bench_json_arg $ no_gates_arg
+      $ accuracy_floor_arg $ ci_ceiling_arg)
+
 let stats_cmd =
   let file_arg =
     let doc =
@@ -868,20 +1152,48 @@ let stats_cmd =
         exit_usage)
     | None ->
       (* nothing recorded yet: profile one live run so the metrics table is
-         never empty *)
+         never empty. The run is instrumented end to end — metrics armed,
+         flight recorder on, profiler recording — so one command
+         summarizes every obs subsystem. *)
       Printf.printf
         "no telemetry file found; profiling a fresh run (cubic, tcp, mild noise, seed 42)\n\n";
-      Obs.Runtime.with_armed (fun () ->
-          let profile = Nebby.Profile.delay_50ms in
-          let result =
-            Nebby.Testbed.run ~seed:42 ~noise:Netsim.Path.mild ~profile
-              ~make_cca:(Cca.Registry.create "cubic") ()
-          in
-          ignore (Nebby.Measurement.prepare_result ~profile result));
+      let (), prof_profile =
+        Obs.Prof.record (fun () ->
+            Obs.Runtime.with_armed (fun () ->
+                Obs.Flight.clear ();
+                Obs.Flight.set_enabled true;
+                Fun.protect
+                  ~finally:(fun () -> Obs.Flight.set_enabled false)
+                  (fun () ->
+                    let profile = Nebby.Profile.delay_50ms in
+                    let result =
+                      Nebby.Testbed.run ~seed:42 ~noise:Netsim.Path.mild ~profile
+                        ~make_cca:(Cca.Registry.create "cubic") ()
+                    in
+                    ignore (Nebby.Measurement.prepare_result ~profile result))))
+      in
       print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+      let flight_events = Obs.Flight.events () in
+      let kind_counts =
+        List.fold_left
+          (fun acc (e : Obs.Flight.event) ->
+            let k = Obs.Flight.kind_label e.Obs.Flight.kind in
+            (k, 1 + Option.value ~default:0 (List.assoc_opt k acc))
+            :: List.remove_assoc k acc)
+          [] flight_events
+        |> List.sort compare
+      in
+      Printf.printf "\nflight recorder (%d events buffered)\n" (List.length flight_events);
+      List.iter (fun (k, n) -> Printf.printf "  %-30s %10d\n" k n) kind_counts;
+      Obs.Flight.clear ();
+      Printf.printf "\nprofiler spans\n";
+      print_string (Obs.Prof.render prof_profile);
       exit_ok
   in
-  let doc = "Pretty-print the metrics table from a telemetry file (or a fresh run)." in
+  let doc =
+    "Summarize the obs subsystems from a telemetry file, or from a fresh instrumented run \
+     (metrics, flight-recorder event counts, profiler span totals)."
+  in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg)
 
 let () =
@@ -891,7 +1203,7 @@ let () =
     Cmd.group info
       [
         measure_cmd; trace_cmd; census_cmd; explain_cmd; report_cmd; accuracy_cmd;
-        chaos_cmd; stats_cmd;
+        chaos_cmd; campaign_cmd; stats_cmd;
       ]
   in
   let code =

@@ -54,6 +54,20 @@ type report = {
   flight : Obs.Flight.dump option;
 }
 
+let report_metrics r =
+  [
+    ("attempts", float_of_int r.attempts);
+    ("failures", float_of_int (List.length r.failures));
+    ("backoff_s", r.backoff_total);
+  ]
+  @
+  match r.provenance with
+  | Some p ->
+    [
+      ("confidence", p.Obs.Provenance.confidence); ("margin", p.Obs.Provenance.margin);
+    ]
+  | None -> []
+
 let prepare_result ?(transform = fun ~rtt:_ pts -> pts) ?smoothen ~profile
     (result : Testbed.result) =
   let rtt = Profile.rtt profile in

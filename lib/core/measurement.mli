@@ -74,6 +74,12 @@ type report = {
           Cross-linked to [provenance] by the shared subject id. *)
 }
 
+val report_metrics : report -> (string * float) list
+(** Flatten a report to the named numeric cells a campaign aggregates:
+    [attempts], [failures] (count), [backoff_s], and — when the verdict
+    carries provenance — [confidence] and [margin]. Order is fixed;
+    absent provenance simply omits its two cells. *)
+
 val classify_trace :
   ?plugins:Plugin.t list ->
   ?proto:Netsim.Packet.proto ->

@@ -7,10 +7,11 @@ let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
    global index s + p*w. *)
 let shard_size ~n ~workers s = if s >= n then 0 else ((n - s - 1) / workers) + 1
 
-let parallel_map ~workers f xs =
+let parallel_map ?emit ~workers f xs =
   let n = Array.length xs in
   let results = Array.make n None in
   let errors = Array.make n None in
+  let ready = Array.init n (fun _ -> Atomic.make false) in
   let cursors = Array.init workers (fun _ -> Atomic.make 0) in
   let steals = Atomic.make 0 in
   let parent_armed = Obs.Runtime.armed () in
@@ -23,9 +24,13 @@ let parallel_map ~workers f xs =
     if pos < shard_size ~n ~workers s then Some (s + (pos * workers)) else None
   in
   let run i =
-    match f xs.(i) with
+    (match f xs.(i) with
     | y -> results.(i) <- Some y
-    | exception e -> errors.(i) <- Some e
+    | exception e -> errors.(i) <- Some e);
+    (* publish: the Atomic.set orders the plain result write before any
+       reader that observes [ready], so the streaming loop below may read
+       results.(i) without a lock once the flag is up *)
+    Atomic.set ready.(i) true
   in
   let worker w () =
     if parent_armed then Obs.Runtime.arm ();
@@ -53,6 +58,22 @@ let parallel_map ~workers f xs =
     (Obs.Metrics.drain (), profile, reports, Obs.Flight.drain ())
   in
   let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
+  (* stream completed results to the caller in canonical index order while
+     workers are still running: emit job i only once every job < i has been
+     emitted, so the emission order never depends on scheduling *)
+  (match emit with
+  | None -> ()
+  | Some emit ->
+    let next = ref 0 in
+    while !next < n do
+      if Atomic.get ready.(!next) then begin
+        (match results.(!next) with
+        | Some y -> emit !next y
+        | None -> () (* errored job: nothing to emit, exception re-raised below *));
+        incr next
+      end
+      else Domain.cpu_relax ()
+    done);
   let buffers = Array.map Domain.join domains in
   Array.iter
     (fun (metrics, profile, reports, flight) ->
@@ -76,3 +97,22 @@ let map ?jobs f xs =
   if workers <= 1 then Array.map f xs else parallel_map ~workers f xs
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+let map_stream ?jobs ~emit f xs =
+  let n = Array.length xs in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let workers = min jobs n in
+  if workers <= 1 then begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    for i = 0 to n - 1 do
+      match f xs.(i) with
+      | y ->
+        results.(i) <- Some y;
+        emit i y
+      | exception e -> errors.(i) <- Some e
+    done;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+  else parallel_map ~emit ~workers f xs

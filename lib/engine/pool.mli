@@ -43,3 +43,16 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
+
+val map_stream :
+  ?jobs:int -> emit:(int -> 'b -> unit) -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map}, but each result is additionally handed to [emit i y] — in the
+    calling domain, in strict index order, while later jobs may still be
+    running — so a campaign can append per-seed records to a store the
+    moment their prefix is complete. Because emission waits for every
+    earlier index, the emission sequence is exactly as canonical as the
+    result array: it never depends on the worker count or scheduling.
+    A job that raises is skipped by [emit]; as with {!map}, all jobs
+    still run to completion, telemetry is flushed, and the exception of
+    the lowest-indexed failing job is then re-raised. [emit] must not
+    raise. *)

@@ -118,6 +118,11 @@ let tally_of_labels labeled =
 let run ?sites ?jobs ?cache ~control ~proto ~region websites =
   tally_of_labels (labels ?sites ?jobs ?cache ~control ~proto ~region websites)
 
+let shares tally =
+  let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+  if sum = 0 then List.map (fun (k, _) -> (k, 0.0)) tally
+  else List.map (fun (k, n) -> (k, float_of_int n /. float_of_int sum)) tally
+
 let scale_to ~total tally =
   let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
   if sum = 0 then tally

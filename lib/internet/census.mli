@@ -101,6 +101,12 @@ val run :
 (** Tally of {!labels}, sorted by descending count. Deterministic in the
     same sense: independent of [jobs] and of cache warmth. *)
 
+val shares : (string * int) list -> (string * float) list
+(** Population shares of a tally, preserving its order: each count
+    divided by the total (all zeros for an empty population). These are
+    the [share.<label>] cells a census campaign aggregates across
+    seeds. *)
+
 val scale_to : total:int -> (string * int) list -> (string * int) list
 (** Rescale a sampled tally so the counts sum to [total] (for comparing a
     sampled census against the paper's 20,000-site rows). *)

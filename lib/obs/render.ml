@@ -381,6 +381,311 @@ let meta_row buf k v =
 let count_kind (d : Flight.dump) k =
   List.length (List.filter (fun (e : Flight.event) -> e.kind = k) d.events)
 
+(* campaign dashboard ----------------------------------------------------- *)
+
+(* Horizontal bar chart over aggregated cells. [whisker] selects the
+   error interval: `Ci draws mean +/- ci95 (skipped for single-seed
+   cells, whose interval is degenerate), `Minmax draws the observed
+   min..max range. Non-finite means are guarded out of SVG coordinates
+   and reported as text. *)
+let hbar_svg ~whisker ~vmax_floor entries =
+  let lw = 170.0 and row_h = 22.0 in
+  let x0 = lw and x1 = cw -. mr -. 64.0 in
+  let finite x = Float.is_finite x in
+  let hi (st : Campaign.stat) =
+    match whisker with
+    | `Ci -> st.Campaign.mean +. st.Campaign.ci95
+    | `Minmax -> st.Campaign.max_v
+  in
+  let vmax =
+    List.fold_left
+      (fun acc (_, st) ->
+        if finite st.Campaign.mean && finite (hi st) then Float.max acc (hi st) else acc)
+      vmax_floor entries
+  in
+  let vmax = Float.max 1e-9 vmax in
+  let xv v = x0 +. (Float.max 0.0 (Float.min 1.0 (v /. vmax)) *. (x1 -. x0)) in
+  let n = List.length entries in
+  let h = (float_of_int n *. row_h) +. 8.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+        xmlns=\"http://www.w3.org/2000/svg\">\n"
+       (coord cw) (coord h) (coord cw) (coord h));
+  List.iteri
+    (fun i (label, (st : Campaign.stat)) ->
+      let y = 4.0 +. (float_of_int i *. row_h) in
+      let yc = y +. 7.0 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"end\" \
+            fill=\"%s\">%s</text>\n"
+           (coord (x0 -. 6.0)) (coord (yc +. 4.0)) c_axis (esc label));
+      if not (finite st.Campaign.mean) then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">non-finite</text>\n"
+             (coord (x0 +. 4.0)) (coord (yc +. 4.0)) c_drop)
+      else begin
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"14\" fill=\"%s\" \
+              fill-opacity=\"0.8\"/>\n"
+             (coord x0) (coord y)
+             (coord (Float.max 0.5 (xv st.Campaign.mean -. x0)))
+             c_bif);
+        let lo, hi_v =
+          match whisker with
+          | `Ci -> (st.Campaign.mean -. st.Campaign.ci95, st.Campaign.mean +. st.Campaign.ci95)
+          | `Minmax -> (st.Campaign.min_v, st.Campaign.max_v)
+        in
+        (* a one-seed cell has no interval; a collapsed interval has no ink *)
+        if st.Campaign.n >= 2 && finite lo && finite hi_v && hi_v -. lo > 0.0 then begin
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+                stroke-width=\"1.2\"/>\n"
+               (coord (xv lo)) (coord yc) (coord (xv hi_v)) (coord yc) c_drop);
+          List.iter
+            (fun v ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+                    stroke-width=\"1.2\"/>\n"
+                   (coord (xv v)) (coord (yc -. 4.0)) (coord (xv v)) (coord (yc +. 4.0))
+                   c_drop))
+            [ lo; hi_v ]
+        end;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s (n=%d)</text>\n"
+             (coord (x1 +. 6.0)) (coord (yc +. 4.0)) c_axis
+             (esc (fnum st.Campaign.mean)) st.Campaign.n)
+      end)
+    entries;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+(* One sparkline per trend metric: the metric's value across committed
+   bench ledgers / prior campaign summaries, oldest first. *)
+let sparkline_svg points =
+  let pts = List.filter (fun (_, v) -> Float.is_finite v) points in
+  let n = List.length pts in
+  let h = 64.0 in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+        xmlns=\"http://www.w3.org/2000/svg\">\n"
+       (coord cw) (coord h) (coord cw) (coord h));
+  (if n = 0 then
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<text x=\"%s\" y=\"32\" font-size=\"10\" fill=\"%s\">no finite data \
+           points</text>\n"
+          (coord ml) c_axis)
+   else begin
+     let vs = List.map snd pts in
+     let vmin = List.fold_left Float.min infinity vs in
+     let vmax = List.fold_left Float.max neg_infinity vs in
+     let span = Float.max 1e-9 (vmax -. vmin) in
+     let x1 = cw -. mr -. 70.0 in
+     let xi i =
+       if n = 1 then (ml +. x1) /. 2.0
+       else ml +. (float_of_int i /. float_of_int (n - 1) *. (x1 -. ml))
+     in
+     let yv v = 8.0 +. ((1.0 -. ((v -. vmin) /. span)) *. (h -. 28.0)) in
+     (if n = 1 then
+        let _, v = List.hd pts in
+        Buffer.add_string buf
+          (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" fill=\"%s\"/>\n"
+             (coord (xi 0)) (coord (yv v)) c_bif)
+      else begin
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.2\" points=\"" c_bif);
+        List.iteri
+          (fun i (_, v) ->
+            if i > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf (coord (xi i));
+            Buffer.add_char buf ',';
+            Buffer.add_string buf (coord (yv v)))
+          pts;
+        Buffer.add_string buf "\"/>\n"
+      end);
+     let first_label, _ = List.hd pts in
+     let last_label, last_v = List.nth pts (n - 1) in
+     Buffer.add_string buf
+       (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" fill=\"%s\"/>\n"
+          (coord (xi (n - 1))) (coord (yv last_v)) c_drop);
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s</text>\n"
+          (coord (x1 +. 6.0))
+          (coord (yv last_v +. 4.0))
+          c_axis (esc (fnum last_v)));
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<text x=\"%s\" y=\"%s\" font-size=\"9\" fill=\"%s\">%s</text>\n"
+          (coord ml) (coord (h -. 4.0)) c_axis (esc first_label));
+     if n > 1 then
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<text x=\"%s\" y=\"%s\" font-size=\"9\" text-anchor=\"end\" \
+             fill=\"%s\">%s</text>\n"
+            (coord x1) (coord (h -. 4.0)) c_axis (esc last_label))
+   end);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let campaign_style =
+  ".pass{color:#009e73;font-weight:bold}\n\
+   .fail{color:#d55e00;font-weight:bold}\n\
+   .skip{color:#888888}\n\
+   code{background:#f2f2f2;padding:0 3px}\n"
+
+(* Split summary cells into dashboard groups by name prefix. *)
+let cells_with_prefix prefix cells =
+  List.filter_map
+    (fun (name, st) ->
+      let pl = String.length prefix in
+      if String.length name > pl && String.sub name 0 pl = prefix then
+        Some (String.sub name pl (String.length name - pl), st)
+      else None)
+    cells
+
+let campaign_dashboard ?(trend = []) ?(gates = []) ~summary () =
+  let s : Campaign.summary = summary in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>nebby campaign: %s</title>\n" (esc s.Campaign.experiment));
+  Buffer.add_string buf
+    (Printf.sprintf "<style>\n%s%s</style>\n</head>\n<body>\n" style campaign_style);
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>nebby campaign dashboard &#8212; %s</h1>\n"
+       (esc s.Campaign.experiment));
+  Buffer.add_string buf "<table class=\"meta\">\n";
+  meta_row buf "experiment" s.Campaign.experiment;
+  meta_row buf "seeds"
+    (Printf.sprintf "%d (%s)"
+       (List.length s.Campaign.seeds)
+       (String.concat ", " (List.map string_of_int s.Campaign.seeds)));
+  meta_row buf "cells" (string_of_int (List.length s.Campaign.cells));
+  Buffer.add_string buf "</table>\n";
+  (match gates with
+  | [] -> ()
+  | gates ->
+    section buf "Pass gates";
+    Buffer.add_string buf
+      "<table><tr><th>gate</th><th>clause</th><th>value</th><th>status</th></tr>\n";
+    List.iter
+      (fun (r : Campaign.gate_result) ->
+        let cls, txt =
+          match r.Campaign.status with
+          | Campaign.Pass -> ("pass", "PASS")
+          | Campaign.Fail -> ("fail", "FAIL")
+          | Campaign.Skip -> ("skip", "SKIP")
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s</td></tr>\n"
+             (esc r.Campaign.gate.Campaign.gate_name)
+             (esc (Campaign.gate_describe r.Campaign.gate))
+             (match r.Campaign.value with Some v -> esc (fnum v) | None -> "&#8212;")
+             cls txt))
+      gates;
+    Buffer.add_string buf "</table>\n");
+  if s.Campaign.seeds = [] then
+    Buffer.add_string buf
+      "<p class=\"note\">empty campaign (0 seeds) &#8212; nothing to aggregate</p>\n"
+  else begin
+    let cells = s.Campaign.cells in
+    let family = cells_with_prefix "accuracy.family." cells in
+    let per_cca =
+      List.filter
+        (fun (name, _) ->
+          String.length name < 16 || String.sub name 0 16 <> "accuracy.family.")
+        (cells_with_prefix "accuracy." cells)
+      @ List.filter_map
+          (fun (name, st) -> if name = "accuracy" then Some ("overall", st) else None)
+          cells
+    in
+    let conf = cells_with_prefix "confidence." cells in
+    let marg = cells_with_prefix "margin." cells in
+    if per_cca <> [] then begin
+      section buf "Per-CCA accuracy (mean with 95% CI)";
+      Buffer.add_string buf (hbar_svg ~whisker:`Ci ~vmax_floor:1.0 per_cca);
+      Buffer.add_string buf
+        (legend_entries [ (c_bif, "mean accuracy"); (c_drop, "95% CI") ])
+    end;
+    if family <> [] then begin
+      section buf "Accuracy by CCA family";
+      Buffer.add_string buf (hbar_svg ~whisker:`Ci ~vmax_floor:1.0 family)
+    end;
+    if conf <> [] then begin
+      section buf "Confidence distribution (mean with min-max range)";
+      Buffer.add_string buf (hbar_svg ~whisker:`Minmax ~vmax_floor:1e-9 conf)
+    end;
+    if marg <> [] then begin
+      section buf "Margin distribution (mean with min-max range)";
+      Buffer.add_string buf (hbar_svg ~whisker:`Minmax ~vmax_floor:1e-9 marg)
+    end;
+    (match s.Campaign.confusion with
+    | [] -> ()
+    | confusion ->
+      section buf "Confusion tallies (expected vs got)";
+      Buffer.add_string buf
+        "<table><tr><th>expected</th><th>got</th><th>count</th></tr>\n";
+      List.iter
+        (fun (expected, gots) ->
+          List.iter
+            (fun (got, count) ->
+              Buffer.add_string buf
+                (Printf.sprintf "<tr><td>%s</td><td>%s</td><td>%d</td></tr>\n"
+                   (esc expected) (esc got) count))
+            gots)
+        confusion;
+      Buffer.add_string buf "</table>\n");
+    match s.Campaign.outliers with
+    | [] -> ()
+    | outliers ->
+      section buf "Seed outliers";
+      Buffer.add_string buf
+        "<p class=\"note\">seeds farthest from the campaign mean; replay a missed \
+         subject with <code>nebby explain &lt;subject&gt;</code> to pull its \
+         provenance and flight dump</p>\n";
+      Buffer.add_string buf
+        "<table><tr><th>seed</th><th>value</th><th>z</th><th>missed subjects</th></tr>\n";
+      List.iter
+        (fun (o : Campaign.outlier) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+               o.Campaign.o_seed
+               (esc (fnum o.Campaign.value))
+               (esc (fnum o.Campaign.z))
+               (esc (String.concat "; " o.Campaign.misses))))
+        outliers;
+      Buffer.add_string buf "</table>\n"
+  end;
+  (match trend with
+  | [] -> ()
+  | trend ->
+    section buf "Trends across committed ledgers";
+    List.iter
+      (fun (metric, points) ->
+        Buffer.add_string buf
+          (Printf.sprintf "<p class=\"note\">%s</p>\n" (esc metric));
+        Buffer.add_string buf (sparkline_svg points))
+      trend);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"note\">campaign schema v%d &#183; generated by nebby campaign</p>\n"
+       s.Campaign.version);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
 let measurement_report ?provenance ?prof ~dump () =
   let d : Flight.dump = dump in
   let buf = Buffer.create 16384 in

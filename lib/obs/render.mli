@@ -28,3 +28,25 @@ val measurement_report :
     to a complete HTML document. Runs whose dump carries fewer than two
     BiF samples (a quiet-level recording) degrade to an event-count
     note instead of charts. *)
+
+val campaign_dashboard :
+  ?trend:(string * (string * float) list) list ->
+  ?gates:Campaign.gate_result list ->
+  summary:Campaign.summary ->
+  unit ->
+  string
+(** Render a {!Campaign.summary} to a self-contained HTML dashboard
+    (inline SVG and CSS, no scripts): the pass-gate table, per-CCA
+    accuracy bars with 95%-CI whiskers, confidence/margin distribution
+    bars with min–max whiskers, the expected-vs-got confusion tally, the
+    seed-outlier table (whose subjects replay with [nebby explain]), and
+    one sparkline per [trend] series (a metric's history across
+    committed bench ledgers and prior campaign summaries, oldest
+    first).
+
+    Degrades deterministically at the edges: an empty campaign (0
+    seeds) renders a note instead of charts, single-seed cells draw
+    bars without whiskers (one sample has no interval), and non-finite
+    statistics are guarded out of SVG coordinates and printed as text
+    instead. Byte-identical for equal inputs, like
+    {!measurement_report}. *)

@@ -16,4 +16,5 @@ let () =
       ("golden", Test_golden.suite);
       ("provenance", Test_provenance.suite);
       ("flight", Test_flight.suite);
+      ("campaign", Test_campaign.suite);
     ]
