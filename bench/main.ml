@@ -64,7 +64,11 @@ let date_stamp () =
 
 (* the hot-path metrics the ledger guards; everything else in the JSON is
    informational *)
-let guarded_metrics = [ "census_serial_s"; "census_parallel_s" ]
+let guarded_metrics = [ "census_serial_s"; "census_parallel_s"; "journal_replay_s" ]
+
+(* throughput floors: for these, *lower* than baseline is the regression
+   direction (ratio < 1 - tolerance fails) *)
+let guarded_floor_metrics = [ "serve_jobs_per_s" ]
 
 let read_json_file path =
   let ic = open_in path in
@@ -82,21 +86,25 @@ let check_baseline current_path =
     let baseline = read_json_file !baseline_file in
     let current = read_json_file current_path in
     let lookup json key = Option.bind (Obs.Json.member key json) Obs.Json.to_float in
+    let check ~floor key =
+      match (lookup baseline key, lookup current key) with
+      | Some base, Some cur when base > 0.0 ->
+        let ratio = cur /. base in
+        let regressed =
+          if floor then ratio < 1.0 -. !tolerance else ratio > 1.0 +. !tolerance
+        in
+        pf "  %-24s baseline %10.3f  current %10.3f  ratio %.2fx (%s)%s\n" key base cur
+          ratio
+          (if floor then "floor" else "ceiling")
+          (if regressed then "  << REGRESSION" else "");
+        if regressed then Some key else None
+      | _ ->
+        pf "  %-24s missing in baseline or current run - skipped\n" key;
+        None
+    in
     let failures =
-      List.filter_map
-        (fun key ->
-          match (lookup baseline key, lookup current key) with
-          | Some base, Some cur when base > 0.0 ->
-            let ratio = cur /. base in
-            let regressed = ratio > 1.0 +. !tolerance in
-            pf "  %-24s baseline %8.3f s  current %8.3f s  ratio %.2fx%s\n" key base cur
-              ratio
-              (if regressed then "  << REGRESSION" else "");
-            if regressed then Some key else None
-          | _ ->
-            pf "  %-24s missing in baseline or current run - skipped\n" key;
-            None)
-        guarded_metrics
+      List.filter_map (check ~floor:false) guarded_metrics
+      @ List.filter_map (check ~floor:true) guarded_floor_metrics
     in
     if failures = [] then begin
       pf "[baseline gate: ok (tolerance %.0f%%)]\n" (100.0 *. !tolerance);
@@ -1005,6 +1013,62 @@ let engine () =
   pf " run only pays the domain bookkeeping, and the memo carries the win)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: continuous census — commit throughput, journal replay       *)
+(* ------------------------------------------------------------------ *)
+
+let serve () =
+  header "Serve" "continuous census: commit throughput, journal replay and compaction";
+  let control = Lazy.force control in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let store = Filename.temp_file "bench_serve" ".journal" in
+  let cfg =
+    {
+      Serve.Service.default_config with
+      sites = min !sites 16;
+      seed = !seed;
+      jobs = 4;
+      epochs = 1;
+    }
+  in
+  let summary, serve_s = time (fun () -> Serve.Service.run ~control ~config:cfg ~store) in
+  Sys.remove store;
+  let jobs_per_s =
+    float_of_int summary.Serve.Service.measured /. Float.max 1e-9 serve_s
+  in
+  pf "service epoch over %d sites (jobs=%d): %.2f s -> %.1f commits/s\n"
+    cfg.Serve.Service.sites cfg.Serve.Service.jobs serve_s jobs_per_s;
+  (* replay: reopening a large store is the cost a restarted service pays
+     before its first measurement, so it is a guarded ceiling *)
+  let replay_store = Filename.temp_file "bench_replay" ".journal" in
+  let j = Engine.Journal.open_ replay_store in
+  let records = 20_000 in
+  for i = 0 to records - 1 do
+    Engine.Journal.put j
+      ~key:(Printf.sprintf "e0|%05d:site-%05d.example|Ohio|tcp|0123456789abcdef" i i)
+      ~value:
+        "{\"label\":\"cubic\",\"confidence\":0.93,\"margin\":3.1,\"attempts\":1,\"failures\":[]}"
+  done;
+  Engine.Journal.close j;
+  let j, replay_s = time (fun () -> Engine.Journal.open_ replay_store) in
+  if Engine.Journal.length j <> records then failwith "serve: replay lost records";
+  let (), compact_s = time (fun () -> Engine.Journal.compact j) in
+  Engine.Journal.close j;
+  Sys.remove replay_store;
+  pf "journal replay of %d records: %.3f s; compaction: %.3f s\n" records replay_s
+    compact_s;
+  record_json "serve_sites" (string_of_int cfg.Serve.Service.sites);
+  record_json "serve_measured" (string_of_int summary.Serve.Service.measured);
+  record_json_f "serve_epoch_s" serve_s;
+  record_json_f "serve_jobs_per_s" jobs_per_s;
+  record_json "journal_records" (string_of_int records);
+  record_json_f "journal_replay_s" replay_s;
+  record_json_f "journal_compact_s" compact_s
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (--perf)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1087,6 +1151,7 @@ let experiments =
     ("ablation", ablation);
     ("chaos", chaos);
     ("engine", engine);
+    ("serve", serve);
   ]
 
 let order = List.mapi (fun i (name, _) -> (name, i)) experiments

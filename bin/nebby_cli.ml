@@ -1124,6 +1124,171 @@ let campaign_cmd =
       $ summary_arg $ html_arg $ from_arg $ bench_json_arg $ no_gates_arg
       $ accuracy_floor_arg $ ci_ceiling_arg)
 
+let serve_cmd =
+  let sites_arg =
+    Arg.(
+      value & opt int 24 & info [ "sites" ] ~docv:"N" ~doc:"Number of websites to keep fresh.")
+  in
+  let region_arg =
+    Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:
+            "Census epochs to run or resume: epoch 0 measures every site, later epochs \
+             re-measure only decayed verdicts.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt string "nebby-serve.journal"
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Durable journal the service commits to and resumes from; safe to reuse \
+             across runs and kills.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-measurement wall-clock deadline for the watchdog; overruns are retried \
+             on the timeout budget, then committed as unknown. 0 disables the watchdog \
+             (and keeps the store bit-deterministic).")
+  in
+  let high_water_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "high-water" ] ~docv:"N"
+          ~doc:
+            "Job-queue depth bound; admission past it is refused (backpressure) and the \
+             scheduler drains a batch before retrying.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N" ~doc:"Jobs measured per parallel drain of the queue.")
+  in
+  let max_entries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:
+            "Bound the journal's in-memory read cache to $(docv) records (evicted \
+             records are re-read and re-checksummed from disk); default unbounded.")
+  in
+  let confidence_floor_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "confidence-floor" ] ~docv:"X"
+          ~doc:"Verdicts below this confidence decay and are re-measured next epoch.")
+  in
+  let margin_floor_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "margin-floor" ] ~docv:"X"
+          ~doc:"Verdicts below this winning margin decay and are re-measured next epoch.")
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after-commits" ] ~docv:"N"
+          ~doc:
+            "Crash injection for recovery testing: SIGKILL this process after the Nth \
+             journal commit.")
+  in
+  let compact_only_arg =
+    Arg.(
+      value & flag
+      & info [ "compact-only" ]
+          ~doc:"Only compact the store canonically (idempotent) and exit; no measuring.")
+  in
+  let run sites region proto seed runs jobs epochs store deadline high_water batch
+      max_entries confidence_floor margin_floor kill compact_only telemetry log_level =
+    Obs.Runtime.set_level log_level;
+    let on_version_mismatch expected got =
+      Printf.eprintf
+        "nebby serve: store schema version mismatch (expected %d, got %d); move the old \
+         store aside or regenerate it with this binary\n"
+        expected got;
+      exit_usage
+    in
+    if compact_only then (
+      try
+        let live = Serve.Service.compact_store ~store in
+        Printf.printf "compacted  : %s (%d live record(s))\n" store live;
+        exit_ok
+      with
+      | Engine.Journal.Version_mismatch { expected; got } -> on_version_mismatch expected got
+      | Obs.Json.Parse_error msg ->
+        Printf.eprintf "nebby serve: %s\n" msg;
+        exit_usage)
+    else
+      match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
+      | None ->
+        Printf.eprintf "nebby serve: unknown region %s (expected one of %s)\n" region
+          (String.concat ", " (List.map Internet.Region.name Internet.Region.all));
+        exit_usage
+      | Some region -> (
+        try
+          let control = train runs in
+          let config =
+            {
+              Serve.Service.sites;
+              seed;
+              region;
+              proto;
+              jobs = resolve_jobs jobs;
+              epochs = max 1 epochs;
+              deadline_s = (if deadline <= 0.0 then infinity else deadline);
+              high_water;
+              batch;
+              max_entries;
+              confidence_floor;
+              margin_floor;
+              kill_after_commits = kill;
+            }
+          in
+          let summary =
+            Obs.Telemetry.record ?jsonl:telemetry (fun () ->
+                Serve.Service.run ~control ~config ~store)
+          in
+          Printf.printf "store      : %s\n" store;
+          Printf.printf "epochs     : %d over %d site(s) (%s, %s)\n" config.epochs sites
+            (Internet.Region.name region)
+            (match proto with Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic");
+          Printf.printf "measured   : %d\n" summary.Serve.Service.measured;
+          Printf.printf "recovered  : %d\n" summary.recovered;
+          Printf.printf "carried    : %d\n" summary.carried;
+          Printf.printf "timeouts   : %d\n" summary.timeouts;
+          Printf.printf "overloads  : %d\n" summary.overloads;
+          Printf.printf "torn tail  : %d record(s) dropped\n" summary.torn_dropped;
+          Printf.printf "snapshots  : %d\n" summary.snapshots;
+          Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
+          exit_ok
+        with
+        | Engine.Journal.Version_mismatch { expected; got } ->
+          on_version_mismatch expected got
+        | Obs.Json.Parse_error msg ->
+          Printf.eprintf "nebby serve: %s\n" msg;
+          exit_usage)
+  in
+  let doc =
+    "Run the crash-safe continuous census: measure the population onto a durable \
+     journal, recover already-committed verdicts after a kill, and re-measure only \
+     decayed verdicts in later epochs."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
+      $ epochs_arg $ store_arg $ deadline_arg $ high_water_arg $ batch_arg
+      $ max_entries_arg $ confidence_floor_arg $ margin_floor_arg $ kill_arg
+      $ compact_only_arg $ telemetry_arg $ log_level_arg)
+
 let stats_cmd =
   let file_arg =
     let doc =
@@ -1203,7 +1368,7 @@ let () =
     Cmd.group info
       [
         measure_cmd; trace_cmd; census_cmd; explain_cmd; report_cmd; accuracy_cmd;
-        chaos_cmd; campaign_cmd; stats_cmd;
+        chaos_cmd; campaign_cmd; serve_cmd; stats_cmd;
       ]
   in
   let code =

@@ -1,18 +1,27 @@
-(** A keyed, domain-safe memo cache for measurement results.
+(** A keyed, domain-safe, single-flight memo cache for measurement
+    results.
 
     Repeated census runs and chaos matrices re-simulate the same
     (site, proto, region, control) cells; a memo keyed on exactly those
     coordinates skips the redundant simulations. The cache is shared
-    across worker domains behind a mutex — lookups and inserts are short
-    critical sections, while computations run outside the lock (two
-    workers racing on one cold key may both compute it; with
-    deterministic jobs both arrive at the identical value, so either
-    insert is correct).
+    across worker domains behind a mutex. Computation is {e single
+    flight}: the first caller of a cold key claims it and computes
+    outside the lock, while concurrent callers for the same key block on
+    a condition variable and wake with the published value — a cold key
+    is computed exactly once, even under contention. Callers of
+    {e other} keys are never delayed by an in-flight compute. If the
+    computation raises, the claim is withdrawn and the exception
+    propagates to the claiming caller; a parked waiter then retries the
+    compute itself.
 
-    Hit/miss counters make cache behaviour observable: a warm census must
-    show [hits = jobs] and a cold one [misses = jobs]. They are also
-    mirrored to the [engine.memo.hits]/[engine.memo.misses] counters when
-    telemetry is armed. *)
+    Hit/miss counters make cache behaviour observable: every
+    [find_or_compute] counts exactly once — a miss for the caller that
+    computed, a hit for everyone else (including waiters that parked
+    behind the compute) — so [hits + misses] equals the lookup count and
+    [misses] equals the number of computations performed. A warm census
+    must show [hits = jobs] and a cold one [misses = jobs]. The counters
+    are mirrored to the [engine.memo.hits]/[engine.memo.misses] metrics
+    when telemetry is armed. *)
 
 type ('k, 'v) t
 
@@ -21,15 +30,20 @@ val create : ?size:int -> unit -> ('k, 'v) t
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute t key f] returns the cached value for [key], or runs
-    [f ()] outside the lock, stores, and returns it. The first value
-    stored for a key wins: a cache hit always returns exactly the bytes
-    an earlier cold run produced. *)
+    [f ()] outside the lock, stores, and returns it. Single-flight: at
+    most one [f] runs per cold key; concurrent lookups of that key wait
+    for it and replay its value, so a cache hit always returns exactly
+    the bytes the one cold computation produced. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
-(** Peek without computing or counting. *)
+(** Peek without computing, waiting, or counting. [None] for a key that
+    is still in flight. *)
 
 val hits : _ t -> int
 val misses : _ t -> int
+
 val length : _ t -> int
+(** Number of completed (ready) entries; in-flight claims don't count. *)
+
 val clear : _ t -> unit
 (** Drop all entries and reset the counters. *)

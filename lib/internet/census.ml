@@ -4,9 +4,14 @@ let create_cache () = Engine.Memo.create ()
 let cache_hits = Engine.Memo.hits
 let cache_misses = Engine.Memo.misses
 
-let site_seed (site : Website.t) region proto =
+(* Epochs simulate a continuous census re-visiting the site later: a
+   non-zero epoch shifts the measurement seed so the re-measurement sees
+   fresh path noise, the way a real re-probe weeks later would. Epoch 0
+   is byte-identical to the historical one-shot census. *)
+let site_seed ?(epoch = 0) (site : Website.t) region proto =
   (site.Website.rank * 31)
   + (Region.index region * 7919)
+  + (epoch * 15485863)
   + (match proto with Netsim.Packet.Tcp -> 0 | Netsim.Packet.Quic -> 104729)
 
 let proto_tag = function Netsim.Packet.Tcp -> "tcp" | Netsim.Packet.Quic -> "quic"
@@ -20,7 +25,7 @@ let cache_key ~control ~proto ~region (site : Website.t) =
     (proto_tag proto)
     (Nebby.Training.fingerprint control)
 
-let site_report ~provenance ~control ~proto ~region (site : Website.t) =
+let site_report ?epoch ~provenance ~control ~proto ~region (site : Website.t) =
   match proto with
   | Netsim.Packet.Quic when not site.Website.quic ->
     {
@@ -41,7 +46,8 @@ let site_report ~provenance ~control ~proto ~region (site : Website.t) =
     let noise = Netsim.Path.scale (Region.noise region) site.Website.noise_factor in
     let report =
       Nebby.Measurement.measure ~provenance ~subject:site.Website.name ~control ~noise
-        ~proto ~page_bytes:site.Website.page_bytes ~seed:(site_seed site region proto)
+        ~proto ~page_bytes:site.Website.page_bytes
+        ~seed:(site_seed ?epoch site region proto)
         ~make_cca:(Cca.Registry.create cca_name) ()
     in
     (* Appendix E: a rate-based sender that is BBR-like but neither v1 nor
@@ -64,8 +70,8 @@ let site_report ~provenance ~control ~proto ~region (site : Website.t) =
 let measure_site ~control ~proto ~region site =
   (site_report ~provenance:false ~control ~proto ~region site).Nebby.Measurement.label
 
-let explain_site ~control ~proto ~region site =
-  site_report ~provenance:true ~control ~proto ~region site
+let explain_site ?epoch ~control ~proto ~region site =
+  site_report ?epoch ~provenance:true ~control ~proto ~region site
 
 let select sites websites =
   match sites with

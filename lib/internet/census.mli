@@ -23,6 +23,18 @@ val create_cache : unit -> cache
 val cache_hits : cache -> int
 val cache_misses : cache -> int
 
+val cache_key :
+  control:Nebby.Training.control ->
+  proto:Netsim.Packet.proto ->
+  region:Region.t ->
+  Website.t ->
+  string
+(** The memo coordinate of one classification:
+    rank:name|region|proto|[Training.fingerprint]. Exposed so the durable
+    journal behind [Serve.Service] can key its records on exactly the
+    coordinates the in-memory cache uses — retraining the control changes
+    the fingerprint and thereby invalidates every persisted verdict. *)
+
 val measure_site :
   control:Nebby.Training.control ->
   proto:Netsim.Packet.proto ->
@@ -35,6 +47,7 @@ val measure_site :
     (QUIC request to a non-QUIC site). *)
 
 val explain_site :
+  ?epoch:int ->
   control:Nebby.Training.control ->
   proto:Netsim.Packet.proto ->
   region:Region.t ->
@@ -44,7 +57,10 @@ val explain_site :
     provenance attached (subject = the site name, label mapped like
     {!measure_site}: ["bbr3"], ["unresponsive"], …). The label is
     bit-identical to {!measure_site}'s — provenance collection does not
-    perturb the measurement. *)
+    perturb the measurement. [epoch] (default 0) shifts the measurement
+    seed to simulate a later re-visit of the same site: the continuous
+    census ([Serve.Service]) re-measures decayed verdicts at increasing
+    epochs, and epoch 0 reproduces the one-shot census exactly. *)
 
 val explained :
   ?sites:int ->

@@ -128,7 +128,27 @@ let read_store path =
     | _ -> jfail (path ^ " does not start with a campaign header line"));
     check_version hj;
     let experiment = jstr (jmember "experiment" hj) in
-    (experiment, List.map (fun l -> seed_run_of_json (Json.of_string l)) rest)
+    (* The store is streamed line by line, so a run killed mid-write
+       leaves a truncated final record. That prefix is still a valid
+       campaign: drop the torn tail with a warning and aggregate the
+       readable runs. Only the final line gets this grace — a malformed
+       line in the middle means real corruption and still raises, and a
+       version skew anywhere still raises Version_mismatch. *)
+    let rec parse acc = function
+      | [] -> List.rev acc
+      | [ last ] -> (
+        match seed_run_of_json (Json.of_string last) with
+        | run -> List.rev (run :: acc)
+        | exception Json.Parse_error _ ->
+          Printf.eprintf
+            "campaign: %s: final record is truncated (killed mid-write?); aggregating the \
+             %d readable run(s)\n\
+             %!"
+            path (List.length acc);
+          List.rev acc)
+      | line :: rest -> parse (seed_run_of_json (Json.of_string line) :: acc) rest
+    in
+    (experiment, parse [] rest)
 
 (* ---- aggregation ---- *)
 

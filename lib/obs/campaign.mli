@@ -79,9 +79,12 @@ val seed_run_to_json : seed_run -> Json.t
 val seed_run_of_json : Json.t -> seed_run
 
 val read_store : string -> string * seed_run list
-(** Parse a store file back to [(experiment, runs)]. Raises
-    {!Version_mismatch} on schema skew, [Json.Parse_error] on malformed
-    input, [Sys_error] if unreadable. *)
+(** Parse a store file back to [(experiment, runs)]. A truncated {e
+    final} record — the signature a SIGKILL leaves on a streamed store —
+    is dropped with a warning on stderr and the readable prefix is
+    returned, so [--from] works on the store of a crashed campaign.
+    Raises {!Version_mismatch} on schema skew, [Json.Parse_error] on a
+    malformed header or non-final record, [Sys_error] if unreadable. *)
 
 (** {1 Aggregation} *)
 

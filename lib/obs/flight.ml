@@ -19,6 +19,7 @@ type kind =
   | Stage
   | Stall
   | Retx
+  | Serve
 
 let kind_label = function
   | Enqueue -> "enqueue"
@@ -29,6 +30,7 @@ let kind_label = function
   | Stage -> "stage"
   | Stall -> "stall"
   | Retx -> "retx"
+  | Serve -> "serve"
 
 let kind_of_label = function
   | "enqueue" -> Some Enqueue
@@ -39,6 +41,7 @@ let kind_of_label = function
   | "stage" -> Some Stage
   | "stall" -> Some Stall
   | "retx" -> Some Retx
+  | "serve" -> Some Serve
   | _ -> None
 
 let kind_tag = function
@@ -50,6 +53,7 @@ let kind_tag = function
   | Stage -> 5
   | Stall -> 6
   | Retx -> 7
+  | Serve -> 8
 
 let kind_of_tag = function
   | 0 -> Enqueue
@@ -59,6 +63,7 @@ let kind_of_tag = function
   | 4 -> Bif
   | 5 -> Stage
   | 6 -> Stall
+  | 8 -> Serve
   | _ -> Retx
 
 type event = {
@@ -225,6 +230,13 @@ let retx ~time ~seq =
   let s = state () in
   if s.enabled then
     push s Retx ~time ~a:(float_of_int seq) ~b:0.0 ~c:0.0 ~detail:"" ~extra:""
+
+(* Census-service lifecycle marks (job enqueues, overload rejections,
+   journal recoveries, torn-tail drops, drains). Rare relative to the
+   packet kinds, so they record at every detail level like faults. *)
+let serve ~time ~event ~value =
+  let s = state () in
+  if s.enabled then push s Serve ~time ~a:value ~b:0.0 ~c:0.0 ~detail:event ~extra:""
 
 (* Chronological readout: live slots in seq order. The oldest surviving
    seq is [next_seq - capacity] once the ring has wrapped. *)

@@ -31,6 +31,10 @@ type kind =
   | Stage  (** pipeline stage transition; [detail]=stage name *)
   | Stall  (** application stall; [a]=stall end time *)
   | Retx  (** retransmission; [a]=segment seq *)
+  | Serve
+      (** census-service lifecycle mark; [detail]=event
+          ("enqueue"/"overloaded"/"recovered"/"torn_drop"/"timeout"/"drain"),
+          [a]=event-specific value (queue depth, recovered count, …) *)
 
 val kind_label : kind -> string
 (** Stable snake_case tag used in dumps. *)
@@ -101,6 +105,10 @@ val bif_send : time:float -> bytes:int -> unit
 val stage : time:float -> name:string -> unit
 val stall : time:float -> until:float -> unit
 val retx : time:float -> seq:int -> unit
+
+val serve : time:float -> event:string -> value:float -> unit
+(** Census-service lifecycle mark ([Serve] kind), recorded at every
+    detail level: the event tag lands in [detail], the value in [a]. *)
 
 (** {1 Readout and cross-domain merge} *)
 

@@ -93,6 +93,42 @@ let test_store_version_mismatch () =
            { expected = Obs.Campaign.schema_version; got = 999 })
         (fun () -> ignore (Obs.Campaign.read_store path)))
 
+let test_store_truncated_final_record () =
+  let runs =
+    [
+      run ~seed:1 ~metrics:[ ("accuracy", 0.75) ] ();
+      run ~seed:2 ~metrics:[ ("accuracy", 1.0) ] ();
+      run ~seed:3 ~metrics:[ ("accuracy", 0.5) ] ();
+    ]
+  in
+  let path = Filename.temp_file "campaign" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Campaign.write_header oc ~experiment:"accuracy" ~runs:3;
+      List.iter (Obs.Campaign.write_seed_line oc) runs;
+      close_out oc;
+      (* a SIGKILL mid-append leaves the last line cut short *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 15));
+      close_out oc;
+      let experiment, back = Obs.Campaign.read_store path in
+      Alcotest.(check string) "experiment still read" "accuracy" experiment;
+      Alcotest.(check int) "readable prefix returned" 2 (List.length back);
+      Alcotest.(check bool) "prefix seeds intact" true
+        (List.map (fun (r : Obs.Campaign.seed_run) -> r.Obs.Campaign.seed) back = [ 1; 2 ]);
+      (* corruption before the final record is NOT a crash signature and
+         must still fail loudly *)
+      let oc = open_out_bin path in
+      output_string oc
+        "{\"kind\":\"campaign\",\"version\":1,\"experiment\":\"x\",\"runs\":2\"\"}\n";
+      close_out oc;
+      match Obs.Campaign.read_store path with
+      | _ -> Alcotest.fail "malformed header must raise"
+      | exception Obs.Json.Parse_error _ -> ())
+
 (* ---- aggregation ---- *)
 
 let test_aggregate_stats () =
@@ -433,6 +469,8 @@ let suite =
     Alcotest.test_case "resolve_seeds validation" `Quick test_resolve_seeds;
     Alcotest.test_case "store round trip" `Quick test_store_round_trip;
     Alcotest.test_case "store version mismatch" `Quick test_store_version_mismatch;
+    Alcotest.test_case "store tolerates truncated final record" `Quick
+      test_store_truncated_final_record;
     Alcotest.test_case "aggregate statistics" `Quick test_aggregate_stats;
     Alcotest.test_case "aggregate NaN/inf guard" `Quick test_aggregate_nan_guard;
     Alcotest.test_case "single-seed degeneracy" `Quick test_aggregate_single_seed;

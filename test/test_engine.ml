@@ -109,10 +109,46 @@ let test_memo_under_contention () =
   Array.iteri
     (fun i v -> Alcotest.(check int) (Printf.sprintf "job %d" i) (i mod 4) v)
     results;
-  (* racing workers may duplicate a cold compute, but hits + misses always
-     equals the lookup count, and the table holds one value per key *)
+  (* single-flight: waiters on an in-flight compute count as hits, so
+     hits + misses always equals the lookup count, and the table holds
+     one value per key *)
   Alcotest.(check int) "hits + misses = lookups" 64 (Engine.Memo.hits m + Engine.Memo.misses m);
   Alcotest.(check int) "one entry per key" 4 (Engine.Memo.length m)
+
+let test_memo_single_flight () =
+  let m = Engine.Memo.create () in
+  let computes = Atomic.make 0 in
+  let results =
+    Engine.Pool.map ~jobs:4
+      (fun i ->
+        Engine.Memo.find_or_compute m (i mod 2) (fun () ->
+            Atomic.incr computes;
+            (* hold the compute open long enough for the other domains to
+               pile up behind the in-flight entry *)
+            let until = Unix.gettimeofday () +. 0.05 in
+            while Unix.gettimeofday () < until do
+              Domain.cpu_relax ()
+            done;
+            i mod 2))
+      (Array.init 32 Fun.id)
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "job %d" i) (i mod 2) v)
+    results;
+  Alcotest.(check int) "exactly one compute per key across 4 domains" 2
+    (Atomic.get computes);
+  Alcotest.(check int) "misses count computations" 2 (Engine.Memo.misses m);
+  Alcotest.(check int) "waiters count as hits" 30 (Engine.Memo.hits m);
+  Alcotest.(check int) "one entry per key" 2 (Engine.Memo.length m)
+
+let test_memo_failed_compute_clears_in_flight () =
+  let m = Engine.Memo.create () in
+  (match Engine.Memo.find_or_compute m "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the compute's exception to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "no entry left behind" 0 (Engine.Memo.length m);
+  Alcotest.(check int) "a later lookup recomputes" 7
+    (Engine.Memo.find_or_compute m "k" (fun () -> 7))
 
 (* ---------------- census determinism ---------------- *)
 
@@ -156,6 +192,10 @@ let suite =
       test_worker_telemetry_flushed;
     Alcotest.test_case "memo hit/miss counters" `Quick test_memo_counters;
     Alcotest.test_case "memo under contention" `Quick test_memo_under_contention;
+    Alcotest.test_case "memo single-flight: one compute per key" `Quick
+      test_memo_single_flight;
+    Alcotest.test_case "memo failed compute clears in-flight" `Quick
+      test_memo_failed_compute_clears_in_flight;
     Alcotest.test_case "32-site census identical for jobs 1/2/4/8" `Quick
       test_census_determinism;
     Alcotest.test_case "census cache: warm run all hits, byte-identical" `Quick

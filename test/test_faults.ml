@@ -205,6 +205,33 @@ let test_backoff_accrues () =
   | [ d1; d2 ] -> Alcotest.(check bool) "backoff grows" true (d2 > d1)
   | _ -> Alcotest.fail "expected exactly two delays"
 
+let test_retry_budget_exhausted_before_max_attempts () =
+  let control = Lazy.force control in
+  let slept = ref [] in
+  let config =
+    {
+      Nebby.Measurement.default_config with
+      max_attempts = 10;
+      retry_budgets = [ (Nebby.Measurement.Flow_reset, 1) ];
+      sleep = (fun d -> slept := d :: !slept);
+    }
+  in
+  let plan = { Faults.seed = 4; specs = [ Faults.Flow_reset { at = 1.0 } ] } in
+  let report = Nebby.Measurement.measure_cca ~control ~config ~faults:plan ~seed:8 "cubic" in
+  Alcotest.(check string) "exhaustion degrades to unknown" "unknown"
+    report.Nebby.Measurement.label;
+  (* budget 1: the first reset earns one retry, the second exhausts the
+     budget — the measurement stops at 2 attempts with 8 still allowed *)
+  Alcotest.(check int) "budget, not max_attempts, ends the measurement" 2
+    report.Nebby.Measurement.attempts;
+  Alcotest.(check (list string)) "failure chain ordered oldest-first"
+    [ "flow_reset"; "flow_reset" ]
+    (List.map Nebby.Measurement.failure_reason_label report.Nebby.Measurement.failures);
+  Alcotest.(check int) "only the performed retry slept" 1 (List.length !slept);
+  Alcotest.(check (float 1e-9)) "backoff_total sums only performed backoffs"
+    (List.fold_left ( +. ) 0.0 !slept)
+    report.Nebby.Measurement.backoff_total
+
 (* ---- defensive trace validation ---- *)
 
 let test_validate_empty_trace () =
@@ -282,6 +309,8 @@ let suite =
     Alcotest.test_case "truncation diagnosed" `Quick test_truncation_diagnosed;
     Alcotest.test_case "max_attempts configurable" `Quick test_max_attempts_config;
     Alcotest.test_case "backoff grows and accrues" `Quick test_backoff_accrues;
+    Alcotest.test_case "retry budget exhausts before max_attempts" `Quick
+      test_retry_budget_exhausted_before_max_attempts;
     Alcotest.test_case "validate empty trace" `Quick test_validate_empty_trace;
     Alcotest.test_case "validate malformed trace" `Quick test_validate_malformed_trace;
     Alcotest.test_case "pipeline tolerates empty input" `Quick test_pipeline_tolerates_empty;

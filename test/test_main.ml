@@ -17,4 +17,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("flight", Test_flight.suite);
       ("campaign", Test_campaign.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -153,7 +153,7 @@ echo "== bench engine + baseline gate (census serial vs parallel, bench.json) ==
 # timings against the committed BENCH_baseline.json; a >25% slowdown
 # fails the gate (exit 1). Without a committed baseline it prints a hint
 # and passes.
-dune exec bench/main.exe -- engine --sites 16 --training-runs 3 \
+dune exec bench/main.exe -- engine serve --sites 16 --training-runs 3 \
   --json bench.json --runtest-s "$runtest_s" --baseline --tolerance 0.25
 
 echo "== campaign determinism gate (4 seeds, jobs=4 must match jobs=1) =="
@@ -188,5 +188,57 @@ done
 # gate here, on the fresh bench.json.
 overhead=$(sed -n 's/.*"census_flight_overhead_frac": \([-0-9.eE+]*\).*/\1/p' bench.json)
 echo "(campaign gates green; flight recorder overhead: ${overhead:-unmeasured})"
+
+echo "== serve kill-and-resume gate (SIGKILL mid-census, resume, byte-identical) =="
+# The headline recovery invariant: a census SIGKILLed at a seeded commit
+# and resumed from its journal must converge to a final store that is
+# byte-identical to an uninterrupted run's.
+serve_tmp=$(mktemp -d)
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp" "$camp_tmp" "$serve_tmp"' EXIT
+serve="serve --sites 8 --training-runs 3 --seed 1234 --jobs 4"
+"$cli" $serve --store "$serve_tmp/ref.journal" >/dev/null || {
+  echo "check.sh: reference serve run exited non-zero" >&2
+  exit 1
+}
+# seeded kill point, mid-run but past the first commit
+kill_after=$(( 1234 % 11 + 2 ))
+if "$cli" $serve --store "$serve_tmp/crash.journal" \
+  --kill-after-commits "$kill_after" >/dev/null 2>&1; then
+  echo "check.sh: crash-injected serve run unexpectedly survived" >&2
+  exit 1
+fi
+# a SIGKILL can also land mid-write: leave a torn half-record by hand
+printf 'deadbeef {"key":"torn' >> "$serve_tmp/crash.journal"
+"$cli" $serve --store "$serve_tmp/crash.journal" \
+  2>"$serve_tmp/resume.err" >/dev/null || {
+  cat "$serve_tmp/resume.err" >&2
+  echo "check.sh: resumed serve run exited non-zero" >&2
+  exit 1
+}
+if ! grep -q "torn" "$serve_tmp/resume.err"; then
+  echo "check.sh: resume did not warn about the torn tail record" >&2
+  exit 1
+fi
+if ! cmp -s "$serve_tmp/ref.journal" "$serve_tmp/crash.journal"; then
+  cmp "$serve_tmp/ref.journal" "$serve_tmp/crash.journal" || true
+  echo "check.sh: resumed store diverged from the uninterrupted run" >&2
+  exit 1
+fi
+echo "(killed after ${kill_after} commits; resumed store byte-identical)"
+
+echo "== serve compaction determinism gate (compact twice, byte-identical) =="
+"$cli" serve --compact-only --store "$serve_tmp/ref.journal" >/dev/null || {
+  echo "check.sh: serve --compact-only exited non-zero" >&2
+  exit 1
+}
+cp "$serve_tmp/ref.journal" "$serve_tmp/once.journal"
+"$cli" serve --compact-only --store "$serve_tmp/ref.journal" >/dev/null || {
+  echo "check.sh: second serve --compact-only exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$serve_tmp/ref.journal" "$serve_tmp/once.journal"; then
+  echo "check.sh: journal compaction is not idempotent" >&2
+  exit 1
+fi
 
 echo "check.sh: all green"
