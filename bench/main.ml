@@ -1069,6 +1069,38 @@ let serve () =
   record_json_f "journal_compact_s" compact_s
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial search throughput (lib/search)                         *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz () =
+  header "Fuzz" "coverage-guided adversarial search: evaluation throughput";
+  let control = Lazy.force control in
+  let config =
+    {
+      Search.Fuzzer.default_config with
+      Search.Fuzzer.budget = 32;
+      jobs = 4;
+      targets = [ "cubic"; "vegas"; "yeah" ];
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = Search.Fuzzer.run ~control ~config ~seed:!seed () in
+  let fuzz_s = Unix.gettimeofday () -. t0 in
+  let total = result.Search.Fuzzer.evals + result.Search.Fuzzer.minimize_evals in
+  let evals_per_s = float_of_int total /. Float.max 1e-9 fuzz_s in
+  pf "%d evaluations (%d search + %d minimizing) in %.2f s -> %.1f evals/s\n"
+    total result.Search.Fuzzer.evals result.Search.Fuzzer.minimize_evals fuzz_s
+    evals_per_s;
+  pf "corpus %d novel signatures, %d counterexample class(es) minimized\n"
+    (List.length result.Search.Fuzzer.corpus)
+    (List.length result.Search.Fuzzer.findings);
+  record_json "fuzz_evals" (string_of_int total);
+  record_json_f "fuzz_s" fuzz_s;
+  record_json_f "fuzz_evals_per_s" evals_per_s;
+  record_json "fuzz_corpus" (string_of_int (List.length result.Search.Fuzzer.corpus));
+  record_json "fuzz_findings" (string_of_int (List.length result.Search.Fuzzer.findings))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (--perf)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1152,6 +1184,7 @@ let experiments =
     ("chaos", chaos);
     ("engine", engine);
     ("serve", serve);
+    ("fuzz", fuzz);
   ]
 
 let order = List.mapi (fun i (name, _) -> (name, i)) experiments

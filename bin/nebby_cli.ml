@@ -540,6 +540,252 @@ let chaos_cmd =
       $ runs_arg $ max_attempts_arg $ proto_arg $ jobs_arg $ log_level_arg $ telemetry_arg
       $ chrome_arg $ list_families_arg $ dump_plans_arg)
 
+(* `fuzz` — coverage-guided adversarial search (lib/search): breed fault
+   plans and path perturbations against the measurement pipeline, minimize
+   each new counterexample class with delta debugging, and emit
+   schema-versioned regression fixtures. The corpus and fixture set are a
+   pure function of (training, budget, seed): any --jobs value produces
+   byte-identical output. `--replay DIR` re-verifies committed fixtures
+   instead of searching. *)
+let fuzz_cmd =
+  let budget_arg =
+    let doc = "Search evaluations per seed (minimization evaluations are extra)." in
+    Arg.(value & opt int 64 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let target_arg =
+    let doc =
+      "Comma-separated CCA registry names to attack, or $(b,all) for the full registry \
+       (default: the loss-based kernel set plus bbr)."
+    in
+    Arg.(value & opt (some (list string)) None & info [ "target" ] ~docv:"CCA|all" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory minimized fixtures are written to." in
+    Arg.(value & opt string "test/adversarial" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Write the final corpus as JSONL to $(docv): one {signature, fitness, genome} \
+       object per admitted entry, in admission order — the determinism witness two runs \
+       can be diffed on."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay every fixture in $(docv) instead of searching; exits 1 if any no longer \
+       reproduces its recorded verdict."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"DIR" ~doc)
+  in
+  let training_runs_arg =
+    let doc = "Training runs per CCA for the search's control models." in
+    Arg.(
+      value
+      & opt int Search.Fuzzer.default_config.Search.Fuzzer.training_runs
+      & info [ "training-runs" ] ~docv:"N" ~doc)
+  in
+  let fuzz_attempts_arg =
+    let doc = "Measurement attempts per evaluation (low: retries cost budget)." in
+    Arg.(
+      value
+      & opt int Search.Fuzzer.default_config.Search.Fuzzer.max_attempts
+      & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let replay_dir dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "nebby fuzz: no fixture directory %s\n" dir;
+      exit_usage
+    end
+    else begin
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort compare
+      in
+      if files = [] then begin
+        Printf.eprintf "nebby fuzz: no fixtures in %s\n" dir;
+        exit_usage
+      end
+      else begin
+        (* fixtures pin their own training configuration; train each
+           distinct triple once *)
+        let controls = Hashtbl.create 4 in
+        let control_for (f : Search.Fixture.t) =
+          let key =
+            (f.Search.Fixture.training_runs, f.Search.Fixture.training_quic_runs,
+             f.Search.Fixture.training_seed)
+          in
+          match Hashtbl.find_opt controls key with
+          | Some c -> c
+          | None ->
+            let runs, quic_runs, seed = key in
+            let c =
+              Nebby.Training.train ~runs_per_cca:runs ~quic_runs_per_cca:quic_runs ~seed ()
+            in
+            Hashtbl.add controls key c;
+            c
+        in
+        let stale = ref 0 and broken = ref 0 in
+        List.iter
+          (fun file ->
+            let path = Filename.concat dir file in
+            match Search.Fixture.load path with
+            | exception Search.Fixture.Version_mismatch { expected; got } ->
+              Printf.eprintf "nebby fuzz: %s: fixture schema v%d, this build reads v%d\n"
+                path got expected;
+              incr broken
+            | Error e ->
+              Printf.eprintf "nebby fuzz: %s: %s\n" path e;
+              incr broken
+            | Ok fx ->
+              let status, e = Search.Fuzzer.replay ~control:(control_for fx) fx in
+              Printf.printf "%-48s %s (got %s, %s)\n" file
+                (Search.Fuzzer.replay_status_label status)
+                e.Search.Fuzzer.got
+                (Search.Fixture.class_label e.Search.Fuzzer.verdict_class);
+              (match status with
+              | Search.Fuzzer.Reproduced -> ()
+              | Search.Fuzzer.Fixed ->
+                Printf.eprintf
+                  "nebby fuzz: %s now classifies correctly — remove the fixture or \
+                   regenerate it\n"
+                  file;
+                incr stale
+              | Search.Fuzzer.Changed -> incr stale))
+          files;
+        if !broken > 0 then exit_usage
+        else if !stale > 0 then exit_unclassified
+        else exit_ok
+      end
+    end
+  in
+  let run budget seed count seed_list jobs targets out corpus_file replay training_runs
+      max_attempts log_level =
+    Obs.Runtime.set_level log_level;
+    match replay with
+    | Some dir -> replay_dir dir
+    | None -> begin
+      let targets =
+        match targets with
+        | None -> Cca.Registry.kernel_ccas
+        | Some [ "all" ] -> Cca.Registry.all
+        | Some cs -> cs
+      in
+      let bad = List.filter (fun c -> not (List.mem c Cca.Registry.all)) targets in
+      if bad <> [] then begin
+        List.iter (Printf.eprintf "nebby fuzz: unknown CCA %s\n") bad;
+        exit_usage
+      end
+      else begin
+        match resolve_seed_spec ~cmd:"fuzz" ?count ?seed_list ~base:seed () with
+        | None -> exit_usage
+        | Some seeds ->
+          let config =
+            {
+              Search.Fuzzer.default_config with
+              Search.Fuzzer.budget;
+              jobs = resolve_jobs jobs;
+              targets;
+              max_attempts;
+              training_runs;
+            }
+          in
+          let control = Search.Fuzzer.control_of_config config in
+          let corpus_oc =
+            Option.map
+              (fun path ->
+                let rec mkdirs d =
+                  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+                  else begin
+                    mkdirs (Filename.dirname d);
+                    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+                  end
+                in
+                mkdirs (Filename.dirname path);
+                open_out path)
+              corpus_file
+          in
+          let written = Hashtbl.create 8 in
+          let total_fixtures = ref 0 in
+          List.iter
+            (fun seed ->
+              let result =
+                Search.Fuzzer.run ~log:(fun s -> note "%s\n" s) ~control ~config ~seed ()
+              in
+              Printf.printf "seed %d: %d evals (+%d minimizing), corpus %d, findings %d\n"
+                seed result.Search.Fuzzer.evals result.Search.Fuzzer.minimize_evals
+                (List.length result.Search.Fuzzer.corpus)
+                (List.length result.Search.Fuzzer.findings);
+              List.iter
+                (fun { Search.Fuzzer.fixture; _ } ->
+                  (* first seed to hit a counterexample class wins; later
+                     seeds rediscovering it are reported, not rewritten *)
+                  let key =
+                    (fixture.Search.Fixture.expected,
+                     Search.Fixture.class_label fixture.Search.Fixture.verdict_class,
+                     fixture.Search.Fixture.got)
+                  in
+                  if Hashtbl.mem written key then
+                    Printf.printf "  duplicate of an earlier seed's %s/%s/%s find\n"
+                      fixture.Search.Fixture.expected
+                      (Search.Fixture.class_label fixture.Search.Fixture.verdict_class)
+                      fixture.Search.Fixture.got
+                  else begin
+                    Hashtbl.add written key ();
+                    incr total_fixtures;
+                    let path = Search.Fixture.save ~dir:out fixture in
+                    Printf.printf
+                      "  fixture %s: %s -> %s (%s), %d spec(s), found at eval %d, \
+                       minimized in %d\n"
+                      path fixture.Search.Fixture.expected fixture.Search.Fixture.got
+                      (Search.Fixture.class_label fixture.Search.Fixture.verdict_class)
+                      (List.length
+                         fixture.Search.Fixture.genome.Search.Genome.faults.Faults.specs)
+                      fixture.Search.Fixture.found_at
+                      fixture.Search.Fixture.minimize_steps
+                  end)
+                result.Search.Fuzzer.findings;
+              Option.iter
+                (fun oc ->
+                  List.iter
+                    (fun (signature, fitness, genome) ->
+                      output_string oc
+                        (Obs.Json.to_string
+                           (Obs.Json.Obj
+                              [
+                                ("seed", Obs.Json.Num (float_of_int seed));
+                                ("signature", Obs.Json.Str signature);
+                                ("fitness", Obs.Json.Num fitness);
+                                ("genome", Search.Genome.to_json genome);
+                              ])
+                        ^ "\n"))
+                    result.Search.Fuzzer.corpus)
+                corpus_oc)
+            seeds;
+          Option.iter close_out corpus_oc;
+          Option.iter (Printf.printf "corpus     : %s\n") corpus_file;
+          if !total_fixtures = 0 then begin
+            Printf.eprintf
+              "nebby fuzz: no counterexample found within budget %d x %d seed(s)\n" budget
+              (List.length seeds);
+            exit_unclassified
+          end
+          else exit_ok
+      end
+    end
+  in
+  let doc =
+    "Coverage-guided adversarial search: breed fault plans and path perturbations that \
+     make the classifier fail, minimize each counterexample, and emit regression \
+     fixtures."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ budget_arg $ seed_arg $ seeds_count_arg $ seed_list_arg $ jobs_arg
+      $ target_arg $ out_arg $ corpus_arg $ replay_arg $ training_runs_arg
+      $ fuzz_attempts_arg $ log_level_arg)
+
 (* `explain TARGET` resolves its target in order: an existing file (a
    golden fixture to replay, a single provenance record, or a provenance
    JSONL written by --provenance), a CCA registry name (fresh measurement
@@ -1368,7 +1614,7 @@ let () =
     Cmd.group info
       [
         measure_cmd; trace_cmd; census_cmd; explain_cmd; report_cmd; accuracy_cmd;
-        chaos_cmd; campaign_cmd; serve_cmd; stats_cmd;
+        chaos_cmd; fuzz_cmd; campaign_cmd; serve_cmd; stats_cmd;
       ]
   in
   let code =

@@ -40,6 +40,75 @@ let families =
     "capture_loss"; "capture_jitter"; "truncate_capture"; "server_stall"; "flow_reset";
   ]
 
+(* ---- validation ---- *)
+
+let validate ?(horizon = 60.0) plan =
+  let ( let* ) r f = Result.bind r f in
+  let err i spec fmt =
+    Printf.ksprintf (fun msg -> Error (Printf.sprintf "%s#%d: %s" (spec_family spec) i msg)) fmt
+  in
+  let check_time i spec name t =
+    if not (Float.is_finite t) then err i spec "%s is not finite" name
+    else if t < 0.0 then err i spec "%s is negative (%g)" name t
+    else if t > horizon then err i spec "%s (%g) exceeds the %g s horizon" name t horizon
+    else Ok ()
+  in
+  let check_window i spec at duration =
+    let* () = check_time i spec "at" at in
+    if not (Float.is_finite duration) then err i spec "duration is not finite"
+    else if duration <= 0.0 then err i spec "duration is not positive (%g)" duration
+    else if at +. duration > horizon then
+      err i spec "window ends at %g, past the %g s horizon" (at +. duration) horizon
+    else Ok ()
+  in
+  let check_prob i spec p =
+    if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+      err i spec "prob %g is outside [0, 1]" p
+    else Ok ()
+  in
+  let check_mag i spec name x =
+    if not (Float.is_finite x) then err i spec "%s is not finite" name
+    else if x < 0.0 then err i spec "%s is negative (%g)" name x
+    else Ok ()
+  in
+  let check_spec i spec =
+    match spec with
+    | Link_flap { at; duration } | Server_stall { at; duration } ->
+      check_window i spec at duration
+    | Rate_change { at; factor } ->
+      let* () = check_time i spec "at" at in
+      if not (Float.is_finite factor) || factor <= 0.0 then
+        err i spec "factor is not positive (%g)" factor
+      else Ok ()
+    | Burst_loss { at; duration; prob; _ } | Capture_loss { at; duration; prob } ->
+      let* () = check_window i spec at duration in
+      check_prob i spec prob
+    | Reorder { at; duration; prob; max_extra; _ } ->
+      let* () = check_window i spec at duration in
+      let* () = check_prob i spec prob in
+      check_mag i spec "max_extra" max_extra
+    | Duplicate { at; duration; prob; _ } ->
+      let* () = check_window i spec at duration in
+      check_prob i spec prob
+    | Ack_storm { at; duration; hold } ->
+      let* () = check_window i spec at duration in
+      if not (Float.is_finite hold) || hold <= 0.0 then
+        err i spec "hold is not positive (%g)" hold
+      else Ok ()
+    | Capture_jitter { std } -> check_mag i spec "std" std
+    | Truncate_capture { at } -> check_time i spec "at" at
+    | Flow_reset { at } -> check_time i spec "at" at
+  in
+  if plan.seed < 0 then Error (Printf.sprintf "plan seed is negative (%d)" plan.seed)
+  else
+    let rec go i = function
+      | [] -> Ok ()
+      | spec :: rest ->
+        let* () = check_spec i spec in
+        go (i + 1) rest
+    in
+    go 0 plan.specs
+
 (* ---- serialization ---- *)
 
 let dir_label = function

@@ -64,6 +64,16 @@ val spec_family : spec -> string
 val families : string list
 (** All family tags, in declaration order. *)
 
+val validate : ?horizon:float -> plan -> (unit, string) result
+(** Structural validity of a plan: the seed is non-negative, every time
+    is finite and within [[0, horizon]] (default 60 s, the testbed's
+    default time limit), durations are strictly positive and end within
+    the horizon, probabilities are within [[0, 1]], rate factors are
+    strictly positive, and every other magnitude is finite and
+    non-negative. The first violation is reported by fault family and
+    position. Mutation-based searches ([Search.Genome]) keep every
+    generated plan inside this contract. *)
+
 (** {2 Serialization} *)
 
 val plan_to_json : plan -> Obs.Json.t

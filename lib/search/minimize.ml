@@ -1,0 +1,107 @@
+(* ddmin (Zeller & Hildebrandt): probe removing chunks at increasing
+   granularity; restart coarse after any successful reduction; stop when
+   the granularity exceeds the list length. 1-minimality follows from the
+   final pass at granularity = length (every single-element removal was
+   probed and failed). *)
+
+let ddmin ~keep input =
+  let steps = ref 0 in
+  let keep xs =
+    incr steps;
+    keep xs
+  in
+  let split xs n =
+    let len = List.length xs in
+    let base = len / n and extra = len mod n in
+    let rec take k ys acc =
+      if k = 0 then (List.rev acc, ys)
+      else match ys with [] -> (List.rev acc, []) | y :: rest -> take (k - 1) rest (y :: acc)
+    in
+    let rec go i ys acc =
+      if i >= n || ys = [] then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let chunk, rest = take size ys [] in
+        go (i + 1) rest (if chunk = [] then acc else chunk :: acc)
+      end
+    in
+    go 0 xs []
+  in
+  let rec reduce xs n =
+    if List.length xs <= 1 then xs
+    else begin
+      let chunks = split xs n in
+      let without i = List.concat (List.filteri (fun j _ -> j <> i) chunks) in
+      let rec try_complements i =
+        if i >= List.length chunks then None
+        else begin
+          let candidate = without i in
+          if candidate <> [] && List.length candidate < List.length xs && keep candidate
+          then Some candidate
+          else try_complements (i + 1)
+        end
+      in
+      match try_complements 0 with
+      | Some reduced -> reduce reduced (max 2 (n - 1))
+      | None ->
+        if n >= List.length xs then xs else reduce xs (min (List.length xs) (2 * n))
+    end
+  in
+  let result =
+    match input with
+    | [] | [ _ ] -> input
+    | xs ->
+      (* the empty reduction is probed first: a counterexample that
+         survives with no specs at all is minimal already *)
+      if keep [] then [] else reduce xs 2
+  in
+  (result, !steps)
+
+type outcome = { genome : Genome.t; steps : int }
+
+let with_specs g specs = { g with Genome.faults = { g.Genome.faults with Faults.specs } }
+
+(* Reset path fields towards baseline one at a time, in a fixed order;
+   each accepted reset is re-verified by [keep]. *)
+let reduce_path ~keep g steps =
+  let resets =
+    [
+      (fun (p : Genome.path) ->
+        { p with Genome.delay_factor = Genome.baseline_path.Genome.delay_factor });
+      (fun p -> { p with Genome.rate_factor = Genome.baseline_path.Genome.rate_factor });
+      (fun p -> { p with Genome.buffer_factor = Genome.baseline_path.Genome.buffer_factor });
+      (fun p -> { p with Genome.jitter_std = Genome.baseline_path.Genome.jitter_std });
+      (fun p -> { p with Genome.cross_loss = Genome.baseline_path.Genome.cross_loss });
+    ]
+  in
+  List.fold_left
+    (fun (g, steps) reset ->
+      let candidate = { g with Genome.path = reset g.Genome.path } in
+      if candidate.Genome.path = g.Genome.path then (g, steps)
+      else begin
+        let steps = steps + 1 in
+        if keep candidate then (candidate, steps) else (g, steps)
+      end)
+    (g, steps) resets
+
+let genome ~keep g =
+  if not (keep g) then None
+  else begin
+    let specs, steps = ddmin ~keep:(fun specs -> keep (with_specs g specs)) g.Genome.faults.Faults.specs in
+    let g = with_specs g specs in
+    let reduced, steps = reduce_path ~keep g (steps + 1) in
+    (* a path reset can make more specs redundant; one more spec pass
+       keeps the result 1-minimal for the final path too *)
+    let reduced, steps =
+      if reduced.Genome.path = g.Genome.path then (reduced, steps)
+      else begin
+        let specs, extra =
+          ddmin
+            ~keep:(fun specs -> keep (with_specs reduced specs))
+            reduced.Genome.faults.Faults.specs
+        in
+        (with_specs reduced specs, steps + extra)
+      end
+    in
+    Some { genome = reduced; steps }
+  end

@@ -1,0 +1,26 @@
+(** Delta-debugging minimizer for found counterexamples.
+
+    The contract fixtures rely on: {!genome} only ever returns a genome
+    for which the caller's [keep] predicate holds — every candidate
+    reduction is re-verified by evaluation before it is accepted, and a
+    genome that does not reproduce in the first place yields [None], so a
+    non-reproducing (or meaningless) fixture cannot be emitted by
+    construction. The returned spec list is 1-minimal: removing any
+    single remaining spec breaks reproduction. *)
+
+val ddmin : keep:('a list -> bool) -> 'a list -> 'a list * int
+(** Zeller-Hildebrandt delta debugging to a 1-minimal sublist, assuming
+    [keep input] holds. Returns the reduced list and the number of [keep]
+    evaluations spent. Deterministic: probes subsets in a fixed order. *)
+
+type outcome = {
+  genome : Genome.t;  (** reduced scenario; [keep] holds by construction *)
+  steps : int;  (** evaluations the reduction spent *)
+}
+
+val genome : keep:(Genome.t -> bool) -> Genome.t -> outcome option
+(** [None] when [keep] rejects the input itself (nothing to minimize — a
+    non-reproducing counterexample must be discarded, not committed).
+    Otherwise reduces the fault-spec list with {!ddmin}, then resets each
+    path parameter to its baseline value where reproduction survives,
+    then re-runs spec reduction if the path changed. *)

@@ -123,6 +123,24 @@ let test_census_scaling () =
   let scaled = Internet.Census.scale_to ~total:20_000 [ ("cubic", 41); ("bbr", 13) ] in
   Alcotest.(check int) "counts rescaled" 15_185 (List.assoc "cubic" scaled)
 
+(* shares must not divide by zero on degenerate tallies, and an
+   all-unknown census is still a well-formed distribution *)
+let test_census_shares_edge_cases () =
+  Alcotest.(check (list (pair string (float 1e-9)))) "empty tally yields no shares" []
+    (Internet.Census.shares []);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "all-zero tally keeps its keys at share 0"
+    [ ("cubic", 0.0); ("unknown", 0.0) ]
+    (Internet.Census.shares [ ("cubic", 0); ("unknown", 0) ]);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "all-unknown verdicts carry the whole share"
+    [ ("unknown", 1.0) ]
+    (Internet.Census.shares [ ("unknown", 7) ]);
+  let shares = Internet.Census.shares [ ("cubic", 3); ("bbr", 1) ] in
+  Alcotest.(check (list string)) "order preserved" [ "cubic"; "bbr" ] (List.map fst shares);
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0
+    (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares)
+
 let test_census_history () =
   Alcotest.(check int) "four historical snapshots" 4 (List.length Internet.Census_history.historical);
   Alcotest.(check string) "bbr3 mapped" "BBRv3" (Internet.Census_history.class_of_label "bbr3");
@@ -182,6 +200,8 @@ let suite =
     Alcotest.test_case "census marks non-QUIC sites unresponsive" `Quick
       test_census_quic_unresponsive;
     Alcotest.test_case "census scaling rescales counts" `Quick test_census_scaling;
+    Alcotest.test_case "census shares survive degenerate tallies" `Quick
+      test_census_shares_edge_cases;
     Alcotest.test_case "historical snapshots present (Table 11)" `Quick test_census_history;
     Alcotest.test_case "browser flows classify per asset" `Slow test_browser_flows_classified;
     Alcotest.test_case "shared bottleneck shows contention" `Quick test_shared_bottleneck_contention;

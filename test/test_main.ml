@@ -18,4 +18,5 @@ let () =
       ("flight", Test_flight.suite);
       ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
+      ("adversarial", Test_adversarial.suite);
     ]

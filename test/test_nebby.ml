@@ -297,6 +297,45 @@ let test_scaler_standardizes () =
   let out = Nebby.Training.apply_scaler bundle.Nebby.Training.joint_scaler vec in
   Array.iter (fun x -> Alcotest.(check (float 1e-9)) "mean maps to 0" 0.0 x) out
 
+(* report_metrics must flatten degenerate reports too: an all-unknown
+   report without provenance omits exactly its confidence/margin cells,
+   never crashes or pads them *)
+let test_report_metrics_edge_cases () =
+  let report =
+    {
+      Nebby.Measurement.label = "unknown";
+      attempts = 3;
+      per_profile = [];
+      failures = [ Nebby.Measurement.Timeout; Nebby.Measurement.Low_confidence ];
+      backoff_total = 1.25;
+      provenance = None;
+      flight = None;
+    }
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "unknown verdict flattens without provenance cells"
+    [ ("attempts", 3.0); ("failures", 2.0); ("backoff_s", 1.25) ]
+    (Nebby.Measurement.report_metrics report);
+  let provenance =
+    Obs.Provenance.make ~subject:"cubic" ~label:"cubic" ~confidence:0.8 ~margin:1.5
+      ~features:[] ~stages:[] ~candidates:[]
+  in
+  let report =
+    {
+      report with
+      Nebby.Measurement.label = "cubic";
+      failures = [];
+      provenance = Some provenance;
+    }
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "provenance appends confidence and margin in fixed order"
+    [
+      ("attempts", 3.0); ("failures", 0.0); ("backoff_s", 1.25); ("confidence", 0.8);
+      ("margin", 1.5);
+    ]
+    (Nebby.Measurement.report_metrics report)
+
 let suite =
   [
     Alcotest.test_case "profile constants match the paper" `Quick test_profile_constants;
@@ -327,6 +366,8 @@ let suite =
     Alcotest.test_case "conflicting verdicts stay unknown" `Quick test_conflicting_verdicts_unknown;
     Alcotest.test_case "no verdicts stay unknown" `Quick test_empty_verdicts_unknown;
     Alcotest.test_case "measurement retries stay within 5" `Slow test_measurement_retries_bounded;
+    Alcotest.test_case "report metrics survive degenerate reports" `Quick
+      test_report_metrics_edge_cases;
     Alcotest.test_case "training covers every loss-based CCA" `Slow test_training_covers_loss_based;
     Alcotest.test_case "dominant fit degrees are in range" `Slow test_training_degree_hist;
     Alcotest.test_case "coefficients look normal (App. B)" `Slow test_training_coefficient_normality;

@@ -241,4 +241,44 @@ if ! cmp -s "$serve_tmp/ref.journal" "$serve_tmp/once.journal"; then
   exit 1
 fi
 
+echo "== fuzz smoke (adversarial search: jobs-independent, fixtures replay) =="
+# The coverage-guided search must be a pure function of its seed at any
+# worker count: a serial and a 4-worker run must produce byte-identical
+# summaries, corpus JSONL, and minimized fixture files — and must find at
+# least one counterexample at this budget (exit 1 means it found none).
+fuzz_tmp=$(mktemp -d)
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp" "$camp_tmp" "$serve_tmp" "$fuzz_tmp"' EXIT
+fuzz="fuzz --budget 24 --seed 1234 --target cubic,vegas,yeah --log-level quiet"
+"$cli" $fuzz --jobs 1 --out "$fuzz_tmp/fx1" --corpus "$fuzz_tmp/c1.jsonl" >"$tmp1" || {
+  echo "check.sh: fuzz --jobs 1 smoke found no counterexample (or crashed)" >&2
+  exit 1
+}
+"$cli" $fuzz --jobs 4 --out "$fuzz_tmp/fx2" --corpus "$fuzz_tmp/c2.jsonl" >"$tmp2" || {
+  echo "check.sh: fuzz --jobs 4 smoke found no counterexample (or crashed)" >&2
+  exit 1
+}
+# the summaries embed the (different) --out/--corpus paths; normalize them
+sed -i "s|$fuzz_tmp/fx1|OUT|;s|$fuzz_tmp/c1.jsonl|CORPUS|" "$tmp1"
+sed -i "s|$fuzz_tmp/fx2|OUT|;s|$fuzz_tmp/c2.jsonl|CORPUS|" "$tmp2"
+if ! cmp -s "$tmp1" "$tmp2"; then
+  diff "$tmp1" "$tmp2" || true
+  echo "check.sh: fuzz --jobs 4 summary diverged from --jobs 1" >&2
+  exit 1
+fi
+if ! cmp -s "$fuzz_tmp/c1.jsonl" "$fuzz_tmp/c2.jsonl"; then
+  diff "$fuzz_tmp/c1.jsonl" "$fuzz_tmp/c2.jsonl" | head -10 || true
+  echo "check.sh: fuzz --jobs 4 corpus diverged from --jobs 1" >&2
+  exit 1
+fi
+if ! diff -r "$fuzz_tmp/fx1" "$fuzz_tmp/fx2"; then
+  echo "check.sh: fuzz --jobs 4 fixtures diverged from --jobs 1" >&2
+  exit 1
+fi
+# Every committed regression fixture must still reproduce its recorded
+# verdict (exit 1 = a fixture went stale; the message names it).
+"$cli" fuzz --replay test/adversarial --log-level quiet >/dev/null || {
+  echo "check.sh: committed adversarial fixtures no longer replay" >&2
+  exit 1
+}
+
 echo "check.sh: all green"
