@@ -356,7 +356,20 @@ let census_cmd =
   let region_arg =
     Arg.(value & opt string "Ohio" & info [ "region" ] ~docv:"REGION" ~doc:"Vantage point.")
   in
-  let run sites region proto seed runs jobs log_level provenance prof folded prof_json =
+  let pool_trace_arg =
+    let doc =
+      "Record the scheduler's task lifecycle (submit/steal/start/finish per site) and \
+       write the trace as JSONL to $(docv); render it later with $(b,nebby stats --pool) \
+       or $(b,nebby report)."
+    in
+    Arg.(value & opt (some string) None & info [ "pool-trace" ] ~docv:"FILE" ~doc)
+  in
+  let pool_report_arg =
+    let doc = "Print the pool scheduler report (wait/run histograms, per-domain table)." in
+    Arg.(value & flag & info [ "pool-report" ] ~doc)
+  in
+  let run sites region proto seed runs jobs log_level provenance pool_trace pool_report prof
+      folded prof_json =
     Obs.Runtime.set_level log_level;
     match List.find_opt (fun r -> Internet.Region.name r = region) Internet.Region.all with
     | None ->
@@ -376,10 +389,28 @@ let census_cmd =
               (100.0 *. float_of_int n /. float_of_int total))
           tally
       in
+      let tracing = pool_trace <> None || pool_report in
+      if tracing then Obs.Pooltrace.set_enabled true;
+      let finish_trace () =
+        if tracing then begin
+          let trace = Obs.Pooltrace.drain () in
+          Option.iter
+            (fun path ->
+              write_file path (Obs.Pooltrace.to_string trace);
+              Printf.printf "pool trace : %s (%d tasks)\n" path
+                (List.length trace.Obs.Pooltrace.tasks))
+            pool_trace;
+          if pool_report then begin
+            print_newline ();
+            print_string (Obs.Pooltrace.report trace)
+          end
+        end
+      in
       with_profiling ~prof ~folded ~json:prof_json (fun () ->
           match provenance with
           | None ->
             print_tally (Internet.Census.run ~jobs ~control ~proto ~region websites);
+            finish_trace ();
             exit_ok
           | Some path ->
             (* The explained census carries full verdict reports; its labels
@@ -402,13 +433,15 @@ let census_cmd =
               (Obs.Provenance.render_dists ~header:"margin"
                  (Internet.Census.margin_dists explained));
             Printf.printf "\nprovenance : %s\n" path;
+            finish_trace ();
             exit_ok)
   in
   let doc = "Run a mini census over the synthetic website population." in
   Cmd.v (Cmd.info "census" ~doc)
     Term.(
       const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
-      $ log_level_arg $ provenance_arg $ prof_table_arg $ prof_folded_arg $ prof_json_arg)
+      $ log_level_arg $ provenance_arg $ pool_trace_arg $ pool_report_arg $ prof_table_arg
+      $ prof_folded_arg $ prof_json_arg)
 
 let accuracy_cmd =
   let trials_arg =
@@ -1028,6 +1061,29 @@ let report_cmd =
     try
       if Sys.file_exists target then begin
         let text = In_channel.with_open_bin target In_channel.input_all in
+        (* pool-trace JSONL headers self-identify; route them to the
+           scheduler report rather than the measurement report *)
+        let is_pool_trace =
+          let header = match String.index_opt text '\n' with
+            | Some i -> String.sub text 0 i
+            | None -> text
+          in
+          match Obs.Json.member "kind" (Obs.Json.of_string header) with
+          | Some (Obs.Json.Str "pool_trace") -> true
+          | _ -> false
+          | exception Obs.Json.Parse_error _ -> false
+        in
+        if is_pool_trace then begin
+          let trace = Obs.Pooltrace.of_string text in
+          let html = Obs.Render.pool_report_html ~trace () in
+          (match out with
+          | None -> print_string html
+          | Some path ->
+            write_file path html;
+            Printf.printf "report: %s\n" path);
+          exit_ok
+        end
+        else
         match Obs.Flight.dump_of_string text with
         | dump ->
           let provenance =
@@ -1105,6 +1161,12 @@ let report_cmd =
         "nebby report: provenance schema version mismatch (expected %d, got %d)\n" expected
         got;
       exit_usage
+    | Obs.Pooltrace.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby report: pool-trace schema version mismatch (expected %d, got %d); \
+         regenerate the trace with this binary\n"
+        expected got;
+      exit_usage
     | Obs.Json.Parse_error msg ->
       Printf.eprintf "nebby report: %s: %s\n" target msg;
       exit_usage
@@ -1176,6 +1238,14 @@ let campaign_cmd =
       & info [ "no-gates" ]
           ~doc:"Evaluate no pass gates: aggregate, render, and exit 0 regardless.")
   in
+  let pool_trace_file_arg =
+    let doc =
+      "Embed the pool scheduler section (timeline SVG, wait/run histograms) from this \
+       saved task trace (as written by $(b,census --pool-trace)) into the dashboard. \
+       Wall-clock content: the determinism diff in check.sh runs without it."
+    in
+    Arg.(value & opt (some string) None & info [ "pool-trace" ] ~docv:"FILE" ~doc)
+  in
   let accuracy_floor_arg =
     let doc = "Override the overall mean-accuracy floor gate." in
     Arg.(value & opt (some float) None & info [ "accuracy-floor" ] ~docv:"X" ~doc)
@@ -1208,9 +1278,15 @@ let campaign_cmd =
   in
   (* sparkline history: every committed BENCH_*.json in the working
      directory, in name order (BENCH_baseline.json, then dated ledgers) *)
+  (* Ledgers are heterogeneous across schema generations: a metric
+     missing from (or null in) some BENCH_*.json simply contributes no
+     point there, and a metric absent everywhere gets no sparkline at
+     all — unknown keys in old or new ledgers are never an error. *)
   let trend_metrics =
     [
       "census_parallel_s"; "census_flight_overhead_frac"; "census_provenance_overhead_frac";
+      "census_trace_overhead_frac"; "pool_queue_wait_p99_us"; "pool_steal_frac";
+      "pool_busy_frac_mean";
     ]
   in
   let trend_series () =
@@ -1255,7 +1331,8 @@ let campaign_cmd =
       gates
   in
   let run experiment seed count seed_list jobs runs sites region proto log_level out
-      summary_path html_path from bench_json no_gates accuracy_floor ci_ceiling =
+      summary_path html_path from bench_json no_gates pool_trace_file accuracy_floor
+      ci_ceiling =
     Obs.Runtime.set_level log_level;
     try
       match Internet.Campaign_runner.experiment_of_name experiment with
@@ -1321,8 +1398,15 @@ let campaign_cmd =
             write_file summary_path
               (Obs.Json.to_string (Obs.Campaign.summary_to_json ~gates:results summary)
               ^ "\n");
+            let pool =
+              Option.map
+                (fun path ->
+                  Obs.Pooltrace.of_string
+                    (In_channel.with_open_bin path In_channel.input_all))
+                pool_trace_file
+            in
             write_file html_path
-              (Obs.Render.campaign_dashboard ~trend:(trend_series ()) ~gates:results
+              (Obs.Render.campaign_dashboard ?pool ~trend:(trend_series ()) ~gates:results
                  ~summary ());
             print_string (Obs.Campaign.render ~gates:results summary);
             if from = None then Printf.printf "\nstore     : %s\n" out
@@ -1351,6 +1435,12 @@ let campaign_cmd =
          the store with this binary\n"
         expected got;
       exit_usage
+    | Obs.Pooltrace.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby campaign: pool-trace schema version mismatch (expected %d, got %d); \
+         regenerate the trace with this binary\n"
+        expected got;
+      exit_usage
     | Obs.Json.Parse_error msg ->
       Printf.eprintf "nebby campaign: %s\n" msg;
       exit_usage
@@ -1368,7 +1458,7 @@ let campaign_cmd =
       const run $ experiment_arg $ seed_arg $ seeds_count_arg $ seed_list_arg $ jobs_arg
       $ runs_arg $ sites_arg $ region_arg $ proto_arg $ log_level_arg $ out_arg
       $ summary_arg $ html_arg $ from_arg $ bench_json_arg $ no_gates_arg
-      $ accuracy_floor_arg $ ci_ceiling_arg)
+      $ pool_trace_file_arg $ accuracy_floor_arg $ ci_ceiling_arg)
 
 let serve_cmd =
   let sites_arg =
@@ -1453,8 +1543,19 @@ let serve_cmd =
       & info [ "compact-only" ]
           ~doc:"Only compact the store canonically (idempotent) and exit; no measuring.")
   in
+  let status_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status-file" ] ~docv:"FILE"
+          ~doc:
+            "Live health surface: atomically rewrite $(docv) (JSON snapshot) and \
+             $(docv).prom (Prometheus text exposition) after every batch; read it while \
+             the daemon runs with $(b,nebby stats --live) $(docv).")
+  in
   let run sites region proto seed runs jobs epochs store deadline high_water batch
-      max_entries confidence_floor margin_floor kill compact_only telemetry log_level =
+      max_entries confidence_floor margin_floor kill compact_only status_file telemetry
+      log_level =
     Obs.Runtime.set_level log_level;
     let on_version_mismatch expected got =
       Printf.eprintf
@@ -1497,6 +1598,7 @@ let serve_cmd =
               confidence_floor;
               margin_floor;
               kill_after_commits = kill;
+              status_file;
             }
           in
           let summary =
@@ -1514,6 +1616,7 @@ let serve_cmd =
           Printf.printf "overloads  : %d\n" summary.overloads;
           Printf.printf "torn tail  : %d record(s) dropped\n" summary.torn_dropped;
           Printf.printf "snapshots  : %d\n" summary.snapshots;
+          Option.iter (Printf.printf "status     : %s (+ .prom)\n") status_file;
           Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
           exit_ok
         with
@@ -1533,7 +1636,7 @@ let serve_cmd =
       const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
       $ epochs_arg $ store_arg $ deadline_arg $ high_water_arg $ batch_arg
       $ max_entries_arg $ confidence_floor_arg $ margin_floor_arg $ kill_arg
-      $ compact_only_arg $ telemetry_arg $ log_level_arg)
+      $ compact_only_arg $ status_file_arg $ telemetry_arg $ log_level_arg)
 
 let stats_cmd =
   let file_arg =
@@ -1546,66 +1649,150 @@ let stats_cmd =
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
-    let path =
-      match file with
-      | Some f -> Some f
-      | None -> if Sys.file_exists default_telemetry_file then Some default_telemetry_file else None
+  let live_arg =
+    let doc =
+      "Render the live health snapshot a running $(b,nebby serve --status-file) daemon \
+       maintains at $(docv) (safe to read mid-run: writes are atomic)."
     in
-    match path with
-    | Some p -> (
-      match Obs.Telemetry.read_summary p with
-      | summary ->
-        Printf.printf "telemetry summary of %s\n\n%s" p (Obs.Telemetry.render_summary summary);
+    Arg.(value & opt (some string) None & info [ "live" ] ~docv:"FILE" ~doc)
+  in
+  let pool_arg =
+    let doc =
+      "Render the pool scheduler report from a task trace written by \
+       $(b,census --pool-trace)."
+    in
+    Arg.(value & opt (some string) None & info [ "pool" ] ~docv:"FILE" ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "With $(b,--pool): also export the trace as Chrome trace_event JSON to $(docv) \
+       (load it in about://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+  in
+  let run file live pool chrome =
+    match (live, pool) with
+    | Some status_path, _ -> (
+      try
+        print_string (Serve.Health.render (Serve.Health.read status_path));
         exit_ok
-      | exception Sys_error msg ->
+      with
+      | Serve.Health.Version_mismatch { expected; got } ->
+        Printf.eprintf
+          "nebby stats: status schema version mismatch (expected %d, got %d); the daemon \
+           writing it is a different binary\n"
+          expected got;
+        exit_usage
+      | Obs.Json.Parse_error msg | Sys_error msg ->
         Printf.eprintf "nebby stats: %s\n" msg;
         exit_usage)
-    | None ->
-      (* nothing recorded yet: profile one live run so the metrics table is
-         never empty. The run is instrumented end to end — metrics armed,
-         flight recorder on, profiler recording — so one command
-         summarizes every obs subsystem. *)
-      Printf.printf
-        "no telemetry file found; profiling a fresh run (cubic, tcp, mild noise, seed 42)\n\n";
-      let (), prof_profile =
-        Obs.Prof.record (fun () ->
-            Obs.Runtime.with_armed (fun () ->
-                Obs.Flight.clear ();
-                Obs.Flight.set_enabled true;
-                Fun.protect
-                  ~finally:(fun () -> Obs.Flight.set_enabled false)
-                  (fun () ->
-                    let profile = Nebby.Profile.delay_50ms in
-                    let result =
-                      Nebby.Testbed.run ~seed:42 ~noise:Netsim.Path.mild ~profile
-                        ~make_cca:(Cca.Registry.create "cubic") ()
-                    in
-                    ignore (Nebby.Measurement.prepare_result ~profile result))))
+    | None, Some trace_path -> (
+      try
+        let text = In_channel.with_open_bin trace_path In_channel.input_all in
+        let trace = Obs.Pooltrace.of_string text in
+        print_string (Obs.Pooltrace.report trace);
+        Option.iter
+          (fun out ->
+            write_file out (Obs.Pooltrace.to_chrome_string trace);
+            Printf.printf "\nchrome trace: %s\n" out)
+          chrome;
+        exit_ok
+      with
+      | Obs.Pooltrace.Version_mismatch { expected; got } ->
+        Printf.eprintf
+          "nebby stats: pool-trace schema version mismatch (expected %d, got %d); \
+           regenerate the trace with this binary\n"
+          expected got;
+        exit_usage
+      | Obs.Json.Parse_error msg | Sys_error msg ->
+        Printf.eprintf "nebby stats: %s\n" msg;
+        exit_usage)
+    | None, None -> (
+      let path =
+        match file with
+        | Some f -> Some f
+        | None ->
+          if Sys.file_exists default_telemetry_file then Some default_telemetry_file
+          else None
       in
-      print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
-      let flight_events = Obs.Flight.events () in
-      let kind_counts =
-        List.fold_left
-          (fun acc (e : Obs.Flight.event) ->
-            let k = Obs.Flight.kind_label e.Obs.Flight.kind in
-            (k, 1 + Option.value ~default:0 (List.assoc_opt k acc))
-            :: List.remove_assoc k acc)
-          [] flight_events
-        |> List.sort compare
-      in
-      Printf.printf "\nflight recorder (%d events buffered)\n" (List.length flight_events);
-      List.iter (fun (k, n) -> Printf.printf "  %-30s %10d\n" k n) kind_counts;
-      Obs.Flight.clear ();
-      Printf.printf "\nprofiler spans\n";
-      print_string (Obs.Prof.render prof_profile);
-      exit_ok
+      match path with
+      | Some p -> (
+        match Obs.Telemetry.read_summary p with
+        | summary ->
+          Printf.printf "telemetry summary of %s\n\n%s" p
+            (Obs.Telemetry.render_summary summary);
+          exit_ok
+        | exception Sys_error msg ->
+          Printf.eprintf "nebby stats: %s\n" msg;
+          exit_usage)
+      | None ->
+        (* nothing recorded yet: profile live runs so the metrics table is
+           never empty. The work goes through the pool with task tracing
+           on, so one command summarizes every obs subsystem — metrics,
+           flight recorder, scheduler, histograms, profiler. *)
+        Printf.printf
+          "no telemetry file found; profiling fresh runs (cubic, tcp, mild noise, seed \
+           42, 2 pool tasks)\n\n";
+        let (), prof_profile =
+          Obs.Prof.record (fun () ->
+              Obs.Runtime.with_armed (fun () ->
+                  Obs.Flight.clear ();
+                  Obs.Flight.set_enabled true;
+                  Obs.Pooltrace.set_enabled true;
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Obs.Flight.set_enabled false;
+                      Obs.Pooltrace.set_enabled false)
+                    (fun () ->
+                      ignore
+                        (Engine.Pool.map_list ~jobs:2
+                           (fun profile ->
+                             let result =
+                               Nebby.Testbed.run ~seed:42 ~noise:Netsim.Path.mild ~profile
+                                 ~make_cca:(Cca.Registry.create "cubic") ()
+                             in
+                             ignore (Nebby.Measurement.prepare_result ~profile result))
+                           [ Nebby.Profile.delay_50ms; Nebby.Profile.delay_100ms ]))))
+        in
+        print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+        let flight_events = Obs.Flight.events () in
+        let kind_counts =
+          List.fold_left
+            (fun acc (e : Obs.Flight.event) ->
+              let k = Obs.Flight.kind_label e.Obs.Flight.kind in
+              (k, 1 + Option.value ~default:0 (List.assoc_opt k acc))
+              :: List.remove_assoc k acc)
+            [] flight_events
+          |> List.sort compare
+        in
+        Printf.printf "\nflight recorder (%d events buffered)\n" (List.length flight_events);
+        List.iter (fun (k, n) -> Printf.printf "  %-30s %10d\n" k n) kind_counts;
+        Obs.Flight.clear ();
+        let trace = Obs.Pooltrace.drain () in
+        let s = Obs.Pooltrace.summarize trace in
+        Printf.printf "\npool scheduler\n";
+        Printf.printf "  %-30s %10d\n" "tasks run" s.Obs.Pooltrace.s_tasks;
+        Printf.printf "  %-30s %10d\n" "steals" s.Obs.Pooltrace.s_steals;
+        Printf.printf "  %-30s %10d\n" "local pops"
+          (s.Obs.Pooltrace.s_tasks - s.Obs.Pooltrace.s_steals);
+        Printf.printf "  %-30s %10.0f\n" "queue wait p99 (us)"
+          (Obs.Histogram.quantile s.Obs.Pooltrace.s_wait_us 0.99);
+        let hists = Obs.Histogram.all () in
+        if hists <> [] then begin
+          Printf.printf "\nlatency histograms\n";
+          print_string (Obs.Histogram.render hists)
+        end;
+        Obs.Histogram.reset ();
+        Printf.printf "\nprofiler spans\n";
+        print_string (Obs.Prof.render prof_profile);
+        exit_ok)
   in
   let doc =
-    "Summarize the obs subsystems from a telemetry file, or from a fresh instrumented run \
-     (metrics, flight-recorder event counts, profiler span totals)."
+    "Summarize the obs subsystems: a telemetry file, a live serve health snapshot \
+     ($(b,--live)), a pool scheduler trace ($(b,--pool)), or a fresh instrumented run \
+     (metrics, flight-recorder event counts, pool/histogram counters, profiler spans)."
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg $ live_arg $ pool_arg $ chrome_arg)
 
 let () =
   let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in

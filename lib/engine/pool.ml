@@ -7,6 +7,19 @@ let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
    global index s + p*w. *)
 let shard_size ~n ~workers s = if s >= n then 0 else ((n - s - 1) / workers) + 1
 
+(* Task-lifecycle tracing (Obs.Pooltrace) rides the same domain-local
+   buffer pattern as Metrics/Flight: when the caller has tracing on,
+   workers inherit the trace origin, stamp each task around [f], feed
+   the queue-wait/run-time registry histograms, and their buffers are
+   drained at join. When tracing is off the per-task cost is one
+   captured-bool branch — the clock is never read. *)
+let run_traced ~worker ~stolen ~workers ~t_submit f i x =
+  let t0 = Unix.gettimeofday () in
+  let r = (match f x with y -> Ok y | exception e -> Error e) in
+  let t1 = Unix.gettimeofday () in
+  Obs.Pooltrace.record ~index:i ~shard:(i mod workers) ~worker ~stolen ~t_submit ~t0 ~t1;
+  r
+
 let parallel_map ?emit ~workers f xs =
   let n = Array.length xs in
   let results = Array.make n None in
@@ -19,14 +32,23 @@ let parallel_map ?emit ~workers f xs =
   let parent_collecting = Obs.Provenance.collecting () in
   let parent_level = Obs.Runtime.level () in
   let parent_flight = Obs.Flight.enabled () in
+  let trace_on = Obs.Pooltrace.enabled () in
+  let trace_origin, t_submit =
+    if trace_on then Obs.Pooltrace.on_run ~jobs:n ~workers else (0.0, 0.0)
+  in
   let claim s =
     let pos = Atomic.fetch_and_add cursors.(s) 1 in
     if pos < shard_size ~n ~workers s then Some (s + (pos * workers)) else None
   in
-  let run i =
-    (match f xs.(i) with
-    | y -> results.(i) <- Some y
-    | exception e -> errors.(i) <- Some e);
+  let run ~worker ~stolen i =
+    (if trace_on then
+       match run_traced ~worker ~stolen ~workers ~t_submit f i xs.(i) with
+       | Ok y -> results.(i) <- Some y
+       | Error e -> errors.(i) <- Some e
+     else
+       match f xs.(i) with
+       | y -> results.(i) <- Some y
+       | exception e -> errors.(i) <- Some e);
     (* publish: the Atomic.set orders the plain result write before any
        reader that observes [ready], so the streaming loop below may read
        results.(i) without a lock once the flag is up *)
@@ -38,11 +60,12 @@ let parallel_map ?emit ~workers f xs =
     if parent_collecting then Obs.Provenance.enable_collect ();
     Obs.Runtime.set_level parent_level;
     Obs.Flight.set_enabled parent_flight;
+    if trace_on then Obs.Pooltrace.import ~origin:trace_origin;
     let rec drain s stolen =
       match claim s with
       | Some i ->
         if stolen then Atomic.incr steals;
-        run i;
+        run ~worker:w ~stolen i;
         drain s stolen
       | None -> ()
     in
@@ -55,7 +78,12 @@ let parallel_map ?emit ~workers f xs =
     let reports =
       if parent_collecting then Obs.Provenance.drain_reports () else []
     in
-    (Obs.Metrics.drain (), profile, reports, Obs.Flight.drain ())
+    ( Obs.Metrics.drain (),
+      profile,
+      reports,
+      Obs.Flight.drain (),
+      Obs.Pooltrace.drain_tasks (),
+      Obs.Histogram.drain () )
   in
   let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
   (* stream completed results to the caller in canonical index order while
@@ -76,17 +104,50 @@ let parallel_map ?emit ~workers f xs =
     done);
   let buffers = Array.map Domain.join domains in
   Array.iter
-    (fun (metrics, profile, reports, flight) ->
+    (fun (metrics, profile, reports, flight, tasks, hists) ->
       Obs.Metrics.absorb metrics;
       Obs.Prof.absorb profile;
       Obs.Provenance.absorb_reports reports;
-      Obs.Flight.absorb flight)
+      Obs.Flight.absorb flight;
+      Obs.Pooltrace.absorb_tasks tasks;
+      Obs.Histogram.absorb hists)
     buffers;
   if parent_armed then begin
     Obs.Metrics.add (Obs.Metrics.counter "engine.pool.jobs") n;
     Obs.Metrics.add (Obs.Metrics.counter "engine.pool.workers") workers;
-    Obs.Metrics.add (Obs.Metrics.counter "engine.pool.steals") (Atomic.get steals)
+    Obs.Metrics.add (Obs.Metrics.counter "engine.pool.steals") (Atomic.get steals);
+    Obs.Metrics.add
+      (Obs.Metrics.counter "engine.pool.local_pops")
+      (n - Atomic.get steals)
   end;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map (function Some y -> y | None -> assert false) results
+
+(* The serial paths trace too (worker 0, shard 0, no steals), so a
+   jobs=1 run still yields a complete trace with the same task count
+   and index coverage as any parallel run. *)
+let serial_map ?emit f xs =
+  let n = Array.length xs in
+  let trace_on = Obs.Pooltrace.enabled () in
+  let t_submit =
+    if trace_on then snd (Obs.Pooltrace.on_run ~jobs:n ~workers:1) else 0.0
+  in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  for i = 0 to n - 1 do
+    if trace_on then (
+      match run_traced ~worker:0 ~stolen:false ~workers:1 ~t_submit f i xs.(i) with
+      | Ok y ->
+        results.(i) <- Some y;
+        (match emit with Some emit -> emit i y | None -> ())
+      | Error e -> errors.(i) <- Some e)
+    else
+      match f xs.(i) with
+      | y ->
+        results.(i) <- Some y;
+        (match emit with Some emit -> emit i y | None -> ())
+      | exception e -> errors.(i) <- Some e
+  done;
   Array.iter (function Some e -> raise e | None -> ()) errors;
   Array.map (function Some y -> y | None -> assert false) results
 
@@ -94,7 +155,7 @@ let map ?jobs f xs =
   let n = Array.length xs in
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let workers = min jobs n in
-  if workers <= 1 then Array.map f xs else parallel_map ~workers f xs
+  if workers <= 1 then serial_map f xs else parallel_map ~workers f xs
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
 
@@ -102,17 +163,5 @@ let map_stream ?jobs ~emit f xs =
   let n = Array.length xs in
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let workers = min jobs n in
-  if workers <= 1 then begin
-    let results = Array.make n None in
-    let errors = Array.make n None in
-    for i = 0 to n - 1 do
-      match f xs.(i) with
-      | y ->
-        results.(i) <- Some y;
-        emit i y
-      | exception e -> errors.(i) <- Some e
-    done;
-    Array.iter (function Some e -> raise e | None -> ()) errors;
-    Array.map (function Some y -> y | None -> assert false) results
-  end
+  if workers <= 1 then serial_map ~emit f xs
   else parallel_map ~emit ~workers f xs

@@ -24,9 +24,19 @@
     merged via {!Obs.Prof.drain}/{!Obs.Prof.absorb}, and a collecting
     caller ({!Obs.Provenance.collecting}) receives worker-emitted verdict
     reports via {!Obs.Provenance.drain_reports}/[absorb_reports] (report
-    arrival order follows worker join order, not submission order). The
+    arrival order follows worker join order, not submission order).
+    {!Obs.Histogram} registries travel the same drain/absorb road. The
     pool itself contributes [engine.pool.jobs], [engine.pool.workers],
-    and [engine.pool.steals] counters. *)
+    [engine.pool.steals], and [engine.pool.local_pops] counters.
+
+    Task tracing: when the caller has {!Obs.Pooltrace} enabled, every
+    task (serial paths included) records a submit/start/finish lifecycle
+    sample tagged with its claiming worker and steal flag, mirrored into
+    the flight recorder, and feeds the [pool.queue_wait_us] /
+    [pool.run_us] registry histograms; worker buffers drain to the
+    caller at join. Disabled (the default), the per-task cost is a
+    single branch on a captured bool — the clock is never read — so the
+    determinism contract and the census-overhead budget are unaffected. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], floored at 1: leave one

@@ -20,6 +20,7 @@ type kind =
   | Stall
   | Retx
   | Serve
+  | Pool
 
 let kind_label = function
   | Enqueue -> "enqueue"
@@ -31,6 +32,7 @@ let kind_label = function
   | Stall -> "stall"
   | Retx -> "retx"
   | Serve -> "serve"
+  | Pool -> "pool"
 
 let kind_of_label = function
   | "enqueue" -> Some Enqueue
@@ -42,6 +44,7 @@ let kind_of_label = function
   | "stall" -> Some Stall
   | "retx" -> Some Retx
   | "serve" -> Some Serve
+  | "pool" -> Some Pool
   | _ -> None
 
 let kind_tag = function
@@ -54,6 +57,7 @@ let kind_tag = function
   | Stall -> 6
   | Retx -> 7
   | Serve -> 8
+  | Pool -> 9
 
 let kind_of_tag = function
   | 0 -> Enqueue
@@ -64,6 +68,7 @@ let kind_of_tag = function
   | 5 -> Stage
   | 6 -> Stall
   | 8 -> Serve
+  | 9 -> Pool
   | _ -> Retx
 
 type event = {
@@ -237,6 +242,13 @@ let retx ~time ~seq =
 let serve ~time ~event ~value =
   let s = state () in
   if s.enabled then push s Serve ~time ~a:value ~b:0.0 ~c:0.0 ~detail:event ~extra:""
+
+(* Pool task-lifecycle marks (submit/start/finish/steal). Only fired
+   while Pooltrace is enabled, so the default census sees none; [time]
+   is wall seconds relative to the trace origin, not virtual time. *)
+let pool ~time ~phase ~a ~b ~c =
+  let s = state () in
+  if s.enabled then push s Pool ~time ~a ~b ~c ~detail:phase ~extra:""
 
 (* Chronological readout: live slots in seq order. The oldest surviving
    seq is [next_seq - capacity] once the ring has wrapped. *)

@@ -539,6 +539,150 @@ let sparkline_svg points =
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
+(* pool scheduler views ---------------------------------------------------- *)
+
+(* Per-domain utilization timeline: one horizontal track per worker,
+   one rect per task span (steals in the accent color), busy fraction
+   printed at the right edge. Pure function of the trace: coordinates
+   come from the recorded stamps only, through the fixed-precision
+   formatters, so equal traces render byte-identically. *)
+let pool_timeline_svg (trace : Pooltrace.t) =
+  let s = Pooltrace.summarize trace in
+  let row_h = 22.0 in
+  let workers = max 1 s.Pooltrace.s_workers in
+  let h = (float_of_int workers *. row_h) +. 26.0 in
+  let t0 = 0.0 and t1 = Float.max 1e-9 s.Pooltrace.s_span_s in
+  let x0 = ml and x1 = cw -. mr -. 56.0 in
+  let xv t = x0 +. (Float.max 0.0 (Float.min 1.0 ((t -. t0) /. (t1 -. t0))) *. (x1 -. x0)) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+        xmlns=\"http://www.w3.org/2000/svg\">\n"
+       (coord cw) (coord h) (coord cw) (coord h));
+  if s.Pooltrace.s_tasks = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%s\" y=\"20\" font-size=\"10\" fill=\"%s\">empty trace</text>\n"
+         (coord ml) c_axis)
+  else begin
+    let frac_of w =
+      match
+        List.find_opt (fun d -> d.Pooltrace.d_worker = w) s.Pooltrace.s_domains
+      with
+      | Some d -> d.Pooltrace.d_busy_frac
+      | None -> 0.0
+    in
+    for w = 0 to workers - 1 do
+      let y = 4.0 +. (float_of_int w *. row_h) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" font-size=\"10\" text-anchor=\"end\" \
+            fill=\"%s\">worker %d</text>\n"
+           (coord (x0 -. 6.0)) (coord (y +. 11.0)) c_axis w);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+            stroke-width=\"0.5\"/>\n"
+           (coord x0) (coord (y +. 7.0)) (coord x1) (coord (y +. 7.0)) c_grid);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s</text>\n"
+           (coord (x1 +. 6.0)) (coord (y +. 11.0)) c_axis
+           (esc (Printf.sprintf "%.0f%%" (100.0 *. frac_of w))))
+    done;
+    List.iter
+      (fun (t : Pooltrace.task) ->
+        let y = 4.0 +. (float_of_int t.Pooltrace.worker *. row_h) in
+        let xa = xv t.Pooltrace.t_start and xb = xv t.Pooltrace.t_finish in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"14\" fill=\"%s\" \
+              fill-opacity=\"0.8\"><title>%s</title></rect>\n"
+             (coord xa) (coord y)
+             (coord (Float.max 0.5 (xb -. xa)))
+             (if t.Pooltrace.stolen then c_drop else c_bif)
+             (esc
+                (Printf.sprintf "task %d%s" t.Pooltrace.index
+                   (if t.Pooltrace.stolen then " (stolen)" else "")))))
+      trace.Pooltrace.tasks;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%s\" y=\"%s\" font-size=\"9\" fill=\"%s\">0</text>\n"
+         (coord x0) (coord (h -. 6.0)) c_axis);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%s\" y=\"%s\" font-size=\"9\" text-anchor=\"end\" \
+          fill=\"%s\">%s s</text>\n"
+         (coord x1) (coord (h -. 6.0)) c_axis (esc (fnum t1)))
+  end;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let pool_hist_row buf (hname : string) (h : Histogram.t) =
+  let cell v = if Histogram.count h = 0 then "&#8212;" else esc (fnum v) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+       (esc hname) (Histogram.count h)
+       (cell (Histogram.quantile h 0.50))
+       (cell (Histogram.quantile h 0.90))
+       (cell (Histogram.quantile h 0.99))
+       (cell (Histogram.max_value h)))
+
+let pool_section buf (trace : Pooltrace.t) =
+  let s = Pooltrace.summarize trace in
+  Buffer.add_string buf "<table class=\"meta\">\n";
+  meta_row buf "tasks" (string_of_int s.Pooltrace.s_tasks);
+  meta_row buf "submitted" (string_of_int s.Pooltrace.s_jobs);
+  meta_row buf "workers" (string_of_int s.Pooltrace.s_workers);
+  meta_row buf "steals"
+    (Printf.sprintf "%d (%.1f%%)" s.Pooltrace.s_steals
+       (if s.Pooltrace.s_tasks = 0 then 0.0
+        else
+          100.0 *. float_of_int s.Pooltrace.s_steals /. float_of_int s.Pooltrace.s_tasks));
+  meta_row buf "span" (Printf.sprintf "%s s" (fnum s.Pooltrace.s_span_s));
+  Buffer.add_string buf "</table>\n";
+  Buffer.add_string buf (pool_timeline_svg trace);
+  Buffer.add_string buf
+    (legend_entries [ (c_bif, "local task"); (c_drop, "stolen task") ]);
+  Buffer.add_string buf
+    "<table><tr><th>histogram (&#181;s)</th><th>count</th><th>p50</th><th>p90</th>\
+     <th>p99</th><th>max</th></tr>\n";
+  pool_hist_row buf "queue wait" s.Pooltrace.s_wait_us;
+  pool_hist_row buf "run time" s.Pooltrace.s_run_us;
+  Buffer.add_string buf "</table>\n";
+  if s.Pooltrace.s_domains <> [] then begin
+    Buffer.add_string buf
+      "<table><tr><th>domain</th><th>tasks</th><th>stolen</th><th>busy s</th>\
+       <th>busy frac</th></tr>\n";
+    List.iter
+      (fun (d : Pooltrace.domain_stat) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td></tr>\n"
+             d.Pooltrace.d_worker d.Pooltrace.d_tasks d.Pooltrace.d_stolen
+             (esc (fnum d.Pooltrace.d_busy_s))
+             (esc (Printf.sprintf "%.3f" d.Pooltrace.d_busy_frac))))
+      s.Pooltrace.s_domains;
+    Buffer.add_string buf "</table>\n"
+  end
+
+let pool_report_html ~trace () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf "<title>nebby pool report</title>\n";
+  Buffer.add_string buf (Printf.sprintf "<style>\n%s</style>\n</head>\n<body>\n" style);
+  Buffer.add_string buf "<h1>nebby pool report</h1>\n";
+  section buf "Scheduler utilization";
+  pool_section buf trace;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"note\">pool trace schema v%d &#183; generated by nebby report</p>\n"
+       Pooltrace.schema_version);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
 let campaign_style =
   ".pass{color:#009e73;font-weight:bold}\n\
    .fail{color:#d55e00;font-weight:bold}\n\
@@ -555,7 +699,7 @@ let cells_with_prefix prefix cells =
       else None)
     cells
 
-let campaign_dashboard ?(trend = []) ?(gates = []) ~summary () =
+let campaign_dashboard ?(trend = []) ?(gates = []) ?pool ~summary () =
   let s : Campaign.summary = summary in
   let buf = Buffer.create 16384 in
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
@@ -669,6 +813,11 @@ let campaign_dashboard ?(trend = []) ?(gates = []) ~summary () =
         outliers;
       Buffer.add_string buf "</table>\n"
   end;
+  (match pool with
+  | None -> ()
+  | Some trace ->
+    section buf "Pool scheduler (this run — wall-clock, not deterministic)";
+    pool_section buf trace);
   (match trend with
   | [] -> ()
   | trend ->

@@ -29,9 +29,22 @@ val measurement_report :
     BiF samples (a quiet-level recording) degrade to an event-count
     note instead of charts. *)
 
+val pool_timeline_svg : Pooltrace.t -> string
+(** Per-domain utilization timeline over a {!Pooltrace} capture: one
+    track per worker, one span per task (steals in the accent color),
+    busy fraction at the right edge. Deterministic for equal traces. *)
+
+val pool_report_html : trace:Pooltrace.t -> unit -> string
+(** Render a captured pool trace to a self-contained HTML page: run
+    metadata, the {!pool_timeline_svg} utilization timeline, queue-wait
+    and run-time histogram quantiles, and the per-domain steal/busy
+    table. Byte-identical for equal traces, like
+    {!measurement_report}. *)
+
 val campaign_dashboard :
   ?trend:(string * (string * float) list) list ->
   ?gates:Campaign.gate_result list ->
+  ?pool:Pooltrace.t ->
   summary:Campaign.summary ->
   unit ->
   string
@@ -42,7 +55,12 @@ val campaign_dashboard :
     seed-outlier table (whose subjects replay with [nebby explain]), and
     one sparkline per [trend] series (a metric's history across
     committed bench ledgers and prior campaign summaries, oldest
-    first).
+    first — series may cover different ledger subsets; ledgers missing
+    a metric are simply absent from its sparkline). When [pool] is
+    given, a scheduler-utilization section (see {!pool_report_html})
+    is embedded; its wall-clock contents are excluded from the
+    dashboard's determinism contract, so the CLI only passes it on
+    explicit request.
 
     Degrades deterministically at the edges: an empty campaign (0
     seeds) renders a note instead of charts, single-seed cells draw

@@ -94,6 +94,9 @@ let pop_batch t n =
       take (max 0 n) [])
 
 let depth t = with_lock t (fun () -> t.depth)
+
+let depths t =
+  with_lock t (fun () -> Array.to_list (Array.map Queue.length t.buckets))
 let high_water t = t.high_water
 let overloads t = with_lock t (fun () -> t.overloads)
 

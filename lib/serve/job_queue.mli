@@ -45,6 +45,11 @@ val pop_batch : 'a t -> int -> 'a list
     slice. *)
 
 val depth : 'a t -> int
+
+val depths : 'a t -> int list
+(** Per-priority depths (index = priority level), one consistent
+    locked snapshot; sums to {!depth}. *)
+
 val high_water : 'a t -> int
 val overloads : 'a t -> int
 (** Pushes rejected with [Overloaded] over this queue's lifetime. *)

@@ -27,6 +27,7 @@ type config = {
   confidence_floor : float;
   margin_floor : float;
   kill_after_commits : int option;
+  status_file : string option;
 }
 
 let default_config =
@@ -44,6 +45,7 @@ let default_config =
     confidence_floor = 0.9;
     margin_floor = 2.0;
     kill_after_commits = None;
+    status_file = None;
   }
 
 type summary = {
@@ -56,7 +58,13 @@ type summary = {
   snapshots : int;
 }
 
-type job = { site : Internet.Website.t; epoch : int; timeouts_so_far : int }
+type job = {
+  site : Internet.Website.t;
+  epoch : int;
+  timeouts_so_far : int;
+  prio : int;
+  admitted_at : int;  (* commit tick at admission, for the wait histograms *)
+}
 
 let armed_incr name = if Obs.Runtime.armed () then Obs.Metrics.incr (Obs.Metrics.counter name)
 
@@ -161,7 +169,46 @@ type state = {
   mutable carried : int;
   mutable timeouts : int;
   mutable torn : int;
+  mutable epoch_now : int;
+  t_start : float;  (* wall start, for the running-phase jobs/s gauge *)
+  wait_hists : Obs.Histogram.t array;  (* per priority, in commit ticks *)
 }
+
+(* The live health surface: everything except jobs_per_s is counted in
+   commits/depths (deterministic at any jobs count); the final snapshot
+   drops the wall-clock rate entirely so it diffs clean across runs. *)
+let status st ~phase =
+  {
+    Health.version = Health.schema_version;
+    phase;
+    epoch = st.epoch_now;
+    queue_depths = Job_queue.depths st.queue;
+    high_water = Job_queue.high_water st.queue;
+    overloads = Job_queue.overloads st.queue;
+    measured = st.measured;
+    recovered = st.recovered;
+    carried = st.carried;
+    timeouts = st.timeouts;
+    commits = st.commits;
+    journal_records = Engine.Journal.length st.store;
+    journal_lag = Job_queue.depth st.queue;
+    jobs_per_s =
+      (if phase = "final" then None
+       else
+         let elapsed = Unix.gettimeofday () -. st.t_start in
+         Some (if elapsed > 0.0 then float_of_int st.measured /. elapsed else 0.0));
+    waits =
+      Array.to_list (Array.mapi (fun prio h -> (prio, h)) st.wait_hists);
+  }
+
+let write_status st ~phase =
+  match st.cfg.status_file with
+  | None -> ()
+  | Some path -> Health.write ~path (status st ~phase)
+
+let observe_wait st (job : job) =
+  Obs.Histogram.observe st.wait_hists.(job.prio)
+    (float_of_int (st.commits - job.admitted_at))
 
 (* Every journal write funnels through here so the crash-injection
    counter sees each commit exactly once, in commit order. *)
@@ -200,6 +247,7 @@ let process_batch st ~control =
         if occurrences > timeout_retry_budget then begin
           st.measured <- st.measured + 1;
           armed_incr "serve.measured";
+          observe_wait st job;
           commit st ~key ~value:(timed_out_value ~attempts:occurrences)
         end
         else
@@ -207,18 +255,24 @@ let process_batch st ~control =
              dropped by the high-water mark *)
           ignore
             (Job_queue.push st.queue ~prio:0 ~force:true
-               { job with timeouts_so_far = occurrences })
+               { job with timeouts_so_far = occurrences; prio = 0;
+                 admitted_at = st.commits })
       end
       else begin
         st.measured <- st.measured + 1;
         armed_incr "serve.measured";
+        observe_wait st job;
         commit st ~key ~value:(value_of_report report)
       end)
-    results
+    results;
+  write_status st ~phase:"running"
 
 (* Admission with backpressure: an Overloaded answer means the consumer
    is behind, so drain one batch in-line and try again. *)
 let rec admit st ~control ~prio job =
+  (* stamp at (each) admission attempt: backpressure drains commit work
+     in between, and the wait histogram measures time-in-queue only *)
+  let job = { job with prio; admitted_at = st.commits } in
   match Job_queue.push st.queue ~prio job with
   | Job_queue.Accepted -> ()
   | Job_queue.Overloaded ->
@@ -228,6 +282,7 @@ let rec admit st ~control ~prio job =
 
 let run_epoch st ~control ~websites epoch =
   let cfg = st.cfg in
+  st.epoch_now <- epoch;
   List.iter
     (fun site ->
       let key = epoch_key ~control ~proto:cfg.proto ~region:cfg.region ~epoch site in
@@ -238,7 +293,7 @@ let run_epoch st ~control ~websites epoch =
         flight ~epoch ~event:"recovered" ~value:(float_of_int site.Internet.Website.rank)
       end
       else
-        let job = { site; epoch; timeouts_so_far = 0 } in
+        let job = { site; epoch; timeouts_so_far = 0; prio = 1; admitted_at = 0 } in
         if epoch = 0 then admit st ~control ~prio:1 job
         else
           let prev_key =
@@ -301,6 +356,13 @@ let run ~control ~config ~store =
       carried = 0;
       timeouts = 0;
       torn = Engine.Journal.torn_dropped journal;
+      epoch_now = 0;
+      t_start = Unix.gettimeofday ();
+      wait_hists =
+        Array.init 2 (fun prio ->
+            Obs.Histogram.create
+              ~name:(Printf.sprintf "serve.wait_ticks.prio%d" prio)
+              ());
     }
   in
   Fun.protect
@@ -319,6 +381,7 @@ let run ~control ~config ~store =
       flight ~epoch:(config.epochs - 1) ~event:"drain"
         ~value:(float_of_int (Engine.Journal.length journal));
       Engine.Journal.compact journal;
+      write_status st ~phase:"final";
       {
         measured = st.measured;
         recovered = st.recovered;

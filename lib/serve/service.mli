@@ -54,11 +54,17 @@ type config = {
   kill_after_commits : int option;
       (** crash injection: SIGKILL this process after the Nth journal
           commit — the check.sh kill-and-resume gate *)
+  status_file : string option;
+      (** live health surface: write a {!Health.snapshot} here (plus a
+          Prometheus exposition at [path ^ ".prom"]) after every batch
+          and once more — [phase = "final"], deterministic content — at
+          the end of the run *)
 }
 
 val default_config : config
 (** 24 sites, seed 7, Ohio/TCP, 2 epochs, infinite deadline, high water
-    256, batch 8, unbounded cache, floors 0.9 confidence / 2.0 margin. *)
+    256, batch 8, unbounded cache, floors 0.9 confidence / 2.0 margin,
+    no status file. *)
 
 type summary = {
   measured : int;  (** verdicts committed by running a measurement *)

@@ -359,6 +359,47 @@ let test_render_gates_and_trend () =
   Alcotest.(check bool) "single trend point degrades to a dot" true
     (contains ~needle:"<circle" html)
 
+let test_render_heterogeneous_trend_and_pool () =
+  let s =
+    Obs.Campaign.aggregate ~experiment:"accuracy"
+      [ run ~seed:1 ~metrics:[ ("accuracy", 1.0) ] () ]
+  in
+  (* ledgers from different schema generations: series cover disjoint
+     ledger subsets, a never-before-seen metric name rides along, and
+     one series is empty-by-filtering upstream (never passed). All must
+     render without error. *)
+  let html =
+    Obs.Render.campaign_dashboard
+      ~trend:
+        [
+          ("census_parallel_s", [ ("BENCH_old", 2.0) ]);
+          ("pool_queue_wait_p99_us", [ ("BENCH_new", 140.0); ("BENCH_newer", 120.0) ]);
+          ("some_future_metric", [ ("BENCH_newer", 1.0) ]);
+        ]
+      ~summary:s ()
+  in
+  Alcotest.(check bool) "old-only series renders" true
+    (contains ~needle:"census_parallel_s" html);
+  Alcotest.(check bool) "new pool series renders" true
+    (contains ~needle:"pool_queue_wait_p99_us" html);
+  Alcotest.(check bool) "unknown metric name renders untranslated" true
+    (contains ~needle:"some_future_metric" html);
+  (* the pool section embeds when a trace is supplied, and an empty
+     trace degrades to a note *)
+  Obs.Pooltrace.set_enabled true;
+  ignore (Engine.Pool.map ~jobs:2 Fun.id (Array.init 6 Fun.id));
+  Obs.Pooltrace.set_enabled false;
+  let trace = Obs.Pooltrace.drain () in
+  Obs.Histogram.reset ();
+  let with_pool = Obs.Render.campaign_dashboard ~pool:trace ~summary:s () in
+  Alcotest.(check bool) "pool section present" true
+    (contains ~needle:"Pool scheduler" with_pool);
+  Alcotest.(check string) "pool dashboard deterministic for an equal trace" with_pool
+    (Obs.Render.campaign_dashboard ~pool:trace ~summary:s ());
+  let empty = { trace with Obs.Pooltrace.tasks = []; jobs = 0 } in
+  Alcotest.(check bool) "empty trace degrades to a note" true
+    (contains ~needle:"empty trace" (Obs.Render.campaign_dashboard ~pool:empty ~summary:s ()))
+
 (* ---- streaming fan-out ---- *)
 
 let test_map_stream_order () =
@@ -482,6 +523,8 @@ let suite =
       test_render_single_seed_no_whiskers;
     Alcotest.test_case "render: non-finite guard" `Quick test_render_non_finite_guard;
     Alcotest.test_case "render: gates and trend" `Quick test_render_gates_and_trend;
+    Alcotest.test_case "render: heterogeneous ledgers and pool section" `Quick
+      test_render_heterogeneous_trend_and_pool;
     Alcotest.test_case "map_stream emits in order" `Quick test_map_stream_order;
     Alcotest.test_case "map_stream skips errored" `Quick test_map_stream_error_skips_emit;
     Alcotest.test_case "runner jobs-determinism" `Slow test_runner_deterministic_across_jobs;

@@ -77,6 +77,111 @@ let test_worker_telemetry_flushed () =
         (Obs.Metrics.counter_value (Obs.Metrics.counter "engine.pool.jobs"));
       Obs.Metrics.reset ())
 
+(* ---------------- pool task tracing ---------------- *)
+
+let traced_run ~jobs n =
+  Obs.Pooltrace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Pooltrace.set_enabled false)
+    (fun () ->
+      ignore (Engine.Pool.map ~jobs (fun x -> x * x) (Array.init n Fun.id));
+      Obs.Pooltrace.drain ())
+
+let test_trace_covers_every_task () =
+  Obs.Histogram.reset ();
+  let n = 32 in
+  let trace = traced_run ~jobs:4 n in
+  Alcotest.(check int) "job count recorded" n trace.Obs.Pooltrace.jobs;
+  Alcotest.(check int) "one sample per task" n (List.length trace.Obs.Pooltrace.tasks);
+  let indices =
+    List.sort_uniq compare
+      (List.map (fun t -> t.Obs.Pooltrace.index) trace.Obs.Pooltrace.tasks)
+  in
+  Alcotest.(check (list int)) "every index covered exactly once" (List.init n Fun.id) indices;
+  List.iter
+    (fun (t : Obs.Pooltrace.task) ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d owned by shard index mod workers" t.Obs.Pooltrace.index)
+        (t.Obs.Pooltrace.index mod 4) t.Obs.Pooltrace.shard;
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d stolen iff run off-shard" t.Obs.Pooltrace.index)
+        t.Obs.Pooltrace.stolen
+        (t.Obs.Pooltrace.worker <> t.Obs.Pooltrace.shard);
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d timestamps ordered" t.Obs.Pooltrace.index)
+        true
+        (t.Obs.Pooltrace.t_submit <= t.Obs.Pooltrace.t_start
+        && t.Obs.Pooltrace.t_start <= t.Obs.Pooltrace.t_finish))
+    trace.Obs.Pooltrace.tasks;
+  (* the record path also feeds the wait/run histograms *)
+  Alcotest.(check int) "queue-wait histogram observed every task" n
+    (Obs.Histogram.count (Obs.Histogram.get "pool.queue_wait_us"));
+  Obs.Histogram.reset ()
+
+let test_trace_serial_path () =
+  Obs.Histogram.reset ();
+  let trace = traced_run ~jobs:1 8 in
+  Alcotest.(check int) "serial path records every task" 8
+    (List.length trace.Obs.Pooltrace.tasks);
+  List.iter
+    (fun (t : Obs.Pooltrace.task) ->
+      Alcotest.(check bool) "nothing stolen on the serial path" false t.Obs.Pooltrace.stolen;
+      Alcotest.(check int) "worker 0" 0 t.Obs.Pooltrace.worker)
+    trace.Obs.Pooltrace.tasks;
+  Obs.Histogram.reset ()
+
+let test_trace_off_records_nothing () =
+  ignore (Obs.Pooltrace.drain ());
+  ignore (Engine.Pool.map ~jobs:4 Fun.id (Array.init 16 Fun.id));
+  let trace = Obs.Pooltrace.drain () in
+  Alcotest.(check int) "disabled tracing buffers nothing" 0
+    (List.length trace.Obs.Pooltrace.tasks)
+
+let test_trace_round_trip_and_report () =
+  Obs.Histogram.reset ();
+  let trace = traced_run ~jobs:2 12 in
+  let once = Obs.Pooltrace.to_string trace in
+  let parsed = Obs.Pooltrace.of_string once in
+  Alcotest.(check string) "to_string/of_string round-trip byte identical" once
+    (Obs.Pooltrace.to_string parsed);
+  Alcotest.(check string) "report is a pure function of the trace"
+    (Obs.Pooltrace.report trace) (Obs.Pooltrace.report parsed);
+  Alcotest.(check string) "chrome export deterministic for equal traces"
+    (Obs.Pooltrace.to_chrome_string trace)
+    (Obs.Pooltrace.to_chrome_string parsed);
+  (* schema skew is a typed error, not a silent misparse *)
+  let replace ~needle ~by hay =
+    let nl = String.length needle in
+    let rec find i =
+      if i + nl > String.length hay then None
+      else if String.sub hay i nl = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> hay
+    | Some i ->
+      String.sub hay 0 i ^ by ^ String.sub hay (i + nl) (String.length hay - i - nl)
+  in
+  let version_field v = Printf.sprintf "\"version\":%d" v in
+  let skewed =
+    let with_space = replace
+        ~needle:(Printf.sprintf "\"version\": %d" Obs.Pooltrace.schema_version)
+        ~by:(Printf.sprintf "\"version\": %d" (Obs.Pooltrace.schema_version + 1))
+        once
+    in
+    if with_space <> once then with_space
+    else
+      replace ~needle:(version_field Obs.Pooltrace.schema_version)
+        ~by:(version_field (Obs.Pooltrace.schema_version + 1))
+        once
+  in
+  (match Obs.Pooltrace.of_string skewed with
+  | _ -> Alcotest.fail "expected Version_mismatch"
+  | exception Obs.Pooltrace.Version_mismatch { got; _ } ->
+    Alcotest.(check int) "mismatch carries the skewed version"
+      (Obs.Pooltrace.schema_version + 1) got);
+  Obs.Histogram.reset ()
+
 (* ---------------- memo ---------------- *)
 
 let test_memo_counters () =
@@ -190,6 +295,13 @@ let suite =
     Alcotest.test_case "pool map_list preserves order" `Quick test_map_list;
     Alcotest.test_case "worker telemetry is flushed at join" `Quick
       test_worker_telemetry_flushed;
+    Alcotest.test_case "pool trace covers every task at jobs=4" `Quick
+      test_trace_covers_every_task;
+    Alcotest.test_case "pool trace on the serial path" `Quick test_trace_serial_path;
+    Alcotest.test_case "pool tracing off records nothing" `Quick
+      test_trace_off_records_nothing;
+    Alcotest.test_case "pool trace round-trip, report purity, version gate" `Quick
+      test_trace_round_trip_and_report;
     Alcotest.test_case "memo hit/miss counters" `Quick test_memo_counters;
     Alcotest.test_case "memo under contention" `Quick test_memo_under_contention;
     Alcotest.test_case "memo single-flight: one compute per key" `Quick

@@ -11,6 +11,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("more", Test_more.suite);
       ("obs", Test_obs.suite);
+      ("histogram", Test_histogram.suite);
       ("faults", Test_faults.suite);
       ("engine", Test_engine.suite);
       ("golden", Test_golden.suite);

@@ -310,6 +310,76 @@ let test_delta_census_carries_and_remeasures () =
           (contains ~needle:"\"total_hosts\":5" v));
       Engine.Journal.close j)
 
+(* ---- health surface ---- *)
+
+let with_status f =
+  let path = Filename.temp_file "serve_status" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".prom"; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let test_status_final_snapshot_deterministic () =
+  (* the final snapshot carries only commit-tick content, so two fresh
+     runs of the same workload at different jobs counts must leave
+     byte-identical status files — the check.sh serve gate *)
+  let run_with ~jobs =
+    with_store (fun store ->
+        with_status (fun status ->
+            let cfg =
+              { (config ~sites:5 ~epochs:1) with Serve.Service.jobs; status_file = Some status }
+            in
+            ignore (run_service ~config:cfg ~store ());
+            (read_file status, read_file (status ^ ".prom"))))
+  in
+  let json1, prom1 = run_with ~jobs:1 in
+  let json2, prom2 = run_with ~jobs:2 in
+  Alcotest.(check string) "final JSON snapshot identical jobs=1 vs jobs=2" json1 json2;
+  Alcotest.(check string) "final Prometheus exposition identical" prom1 prom2;
+  Alcotest.(check bool) "final snapshot says phase=final" true
+    (contains ~needle:"\"phase\":\"final\"" json1);
+  Alcotest.(check bool) "jobs_per_s is null in the final snapshot" true
+    (contains ~needle:"\"jobs_per_s\":null" json1);
+  Alcotest.(check bool) "prometheus marks the daemon drained" true
+    (contains ~needle:"nebby_serve_up 0" prom1)
+
+let test_status_read_render_and_version_gate () =
+  with_store (fun store ->
+      with_status (fun status ->
+          let cfg =
+            { (config ~sites:4 ~epochs:1) with Serve.Service.status_file = Some status }
+          in
+          ignore (run_service ~config:cfg ~store ());
+          let snap = Serve.Health.read status in
+          Alcotest.(check string) "phase" "final" snap.Serve.Health.phase;
+          Alcotest.(check int) "no queue lag after drain" 0 snap.Serve.Health.journal_lag;
+          Alcotest.(check bool) "queue fully drained" true
+            (List.for_all (fun d -> d = 0) snap.Serve.Health.queue_depths);
+          Alcotest.(check int) "commits cover sites + snapshot" 5
+            snap.Serve.Health.commits;
+          Alcotest.(check bool) "bulk-priority waits were observed" true
+            (List.exists
+               (fun (prio, h) -> prio = 1 && Obs.Histogram.count h > 0)
+               snap.Serve.Health.waits);
+          let text = Serve.Health.render snap in
+          Alcotest.(check bool) "render names the wait histogram" true
+            (contains ~needle:"serve.wait_ticks.prio1" text);
+          let prom = read_file (status ^ ".prom") in
+          Alcotest.(check bool) "prometheus exposes wait quantiles" true
+            (contains ~needle:"nebby_serve_wait_ticks{prio=\"1\",quantile=\"0.99\"}" prom);
+          Alcotest.(check bool) "prometheus exposes per-prio depth" true
+            (contains ~needle:"nebby_serve_queue_depth{prio=\"0\"} 0" prom);
+          (* version skew is a typed failure *)
+          Out_channel.with_open_bin status (fun oc ->
+              Out_channel.output_string oc
+                "{\"kind\":\"nebby_serve_status\",\"version\":99}\n");
+          match Serve.Health.read status with
+          | _ -> Alcotest.fail "expected Version_mismatch"
+          | exception Serve.Health.Version_mismatch { got; _ } ->
+            Alcotest.(check int) "mismatch carries the skewed version" 99 got))
+
 let test_service_backpressure_observable () =
   with_store (fun store ->
       let cfg =
@@ -356,4 +426,8 @@ let suite =
       test_delta_census_carries_and_remeasures;
     Alcotest.test_case "service backpressure observable in counters" `Quick
       test_service_backpressure_observable;
+    Alcotest.test_case "final status snapshot byte-identical across jobs" `Slow
+      test_status_final_snapshot_deterministic;
+    Alcotest.test_case "status read/render and schema version gate" `Quick
+      test_status_read_render_and_version_gate;
   ]

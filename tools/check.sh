@@ -66,13 +66,68 @@ if ! cmp -s "$tmp1" "$tmp2"; then
   exit 1
 fi
 
+echo "== pool trace gate (census --pool-trace; report/chrome render deterministically) =="
+# Task-lifecycle tracing end to end: a traced census must record every
+# task, and everything derived from the saved trace — the text report,
+# the Chrome export, the HTML page — must be a pure function of it
+# (byte-identical across renders).
+pool_tmp=$(mktemp -d)
+trap 'rm -f "$tmp1" "$tmp2"; rm -rf "$pool_tmp"' EXIT
+"$cli" census $census --jobs 4 --pool-trace "$pool_tmp/trace.jsonl" >/dev/null || {
+  echo "check.sh: census --pool-trace exited non-zero" >&2
+  exit 1
+}
+if ! grep -q '"pool_trace"' "$pool_tmp/trace.jsonl"; then
+  echo "check.sh: pool trace file is missing its header" >&2
+  exit 1
+fi
+tasks=$(( $(wc -l < "$pool_tmp/trace.jsonl") - 1 ))
+if [ "$tasks" -ne 32 ]; then
+  echo "check.sh: pool trace recorded ${tasks} tasks for a 32-site census" >&2
+  exit 1
+fi
+"$cli" stats --pool "$pool_tmp/trace.jsonl" --chrome-trace "$pool_tmp/chrome1.json" \
+  >"$pool_tmp/report1.txt" || {
+  echo "check.sh: stats --pool exited non-zero" >&2
+  exit 1
+}
+"$cli" stats --pool "$pool_tmp/trace.jsonl" --chrome-trace "$pool_tmp/chrome2.json" \
+  >"$pool_tmp/report2.txt" || {
+  echo "check.sh: stats --pool exited non-zero on second run" >&2
+  exit 1
+}
+# the chrome-trace destination path is echoed; normalize it before diffing
+sed -i "s|$pool_tmp/chrome1.json|CHROME|" "$pool_tmp/report1.txt"
+sed -i "s|$pool_tmp/chrome2.json|CHROME|" "$pool_tmp/report2.txt"
+if ! cmp -s "$pool_tmp/report1.txt" "$pool_tmp/report2.txt"; then
+  diff "$pool_tmp/report1.txt" "$pool_tmp/report2.txt" || true
+  echo "check.sh: pool report is not deterministic for a saved trace" >&2
+  exit 1
+fi
+if ! cmp -s "$pool_tmp/chrome1.json" "$pool_tmp/chrome2.json"; then
+  echo "check.sh: chrome-trace export is not deterministic for a saved trace" >&2
+  exit 1
+fi
+"$cli" report "$pool_tmp/trace.jsonl" -o "$pool_tmp/pool1.html" >/dev/null || {
+  echo "check.sh: report on the pool trace exited non-zero" >&2
+  exit 1
+}
+"$cli" report "$pool_tmp/trace.jsonl" -o "$pool_tmp/pool2.html" >/dev/null || {
+  echo "check.sh: report on the pool trace exited non-zero on second run" >&2
+  exit 1
+}
+if ! cmp -s "$pool_tmp/pool1.html" "$pool_tmp/pool2.html"; then
+  echo "check.sh: pool HTML report is not deterministic for a saved trace" >&2
+  exit 1
+fi
+
 echo "== golden fixtures regenerate bit-identically =="
 # Drift caught here and not by test_golden means gen_golden and the test
 # disagree about the pinned configuration; drift caught by both means the
 # pipeline's numerics changed (regenerate and review the diff if it is
 # intentional).
 golden_tmp=$(mktemp -d)
-trap 'rm -f "$tmp1" "$tmp2"; rm -rf "$golden_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2"; rm -rf "$pool_tmp" "$golden_tmp"' EXIT
 dune exec tools/gen_golden.exe -- "$golden_tmp" >/dev/null
 if ! diff -r test/golden "$golden_tmp"; then
   echo "check.sh: golden fixtures are stale (dune exec tools/gen_golden.exe)" >&2
@@ -95,7 +150,7 @@ if ! diff tools/expect/explain_cubic.txt "$tmp1"; then
   exit 1
 fi
 prov_tmp=$(mktemp --suffix=.jsonl)
-trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp"; rm -rf "$golden_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp"; rm -rf "$pool_tmp" "$golden_tmp"' EXIT
 "$cli" explain test/golden/cubic.json --provenance "$prov_tmp" >/dev/null || {
   echo "check.sh: explain --provenance exited non-zero" >&2
   exit 1
@@ -127,7 +182,7 @@ fi
 # A forced low-confidence measurement must produce a flight dump that
 # renders byte-identically across two runs.
 flight_tmp=$(mktemp --suffix=.jsonl)
-trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$pool_tmp" "$golden_tmp"' EXIT
 "$cli" measure --cca cubic --training-runs 3 --seed 1234 \
   --flight-confidence 2 --flight "$flight_tmp" >/dev/null || true
 if [ ! -s "$flight_tmp" ]; then
@@ -161,7 +216,7 @@ echo "== campaign determinism gate (4 seeds, jobs=4 must match jobs=1) =="
 # byte-identical per-seed stores, summary JSON, and dashboard HTML — the
 # statistical layer inherits the engine's determinism contract end to end.
 camp_tmp=$(mktemp -d)
-trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp" "$camp_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$pool_tmp" "$golden_tmp" "$camp_tmp"' EXIT
 campaign="campaign --seeds 4 --training-runs 3 --bench-json bench.json"
 "$cli" $campaign --jobs 1 --out "$camp_tmp/runs1.jsonl" \
   --summary "$camp_tmp/sum1.json" --html "$camp_tmp/dash1.html" >/dev/null || {
@@ -188,13 +243,26 @@ done
 # gate here, on the fresh bench.json.
 overhead=$(sed -n 's/.*"census_flight_overhead_frac": \([-0-9.eE+]*\).*/\1/p' bench.json)
 echo "(campaign gates green; flight recorder overhead: ${overhead:-unmeasured})"
+# Pool task tracing is opt-in, but when enabled it must stay cheap: the
+# bench's paired-run measurement of a fully traced census may not cost
+# more than 5% CPU time over the untraced one.
+trace_ovh=$(sed -n 's/.*"census_trace_overhead_frac": \([-0-9.eE+]*\).*/\1/p' bench.json)
+if [ -z "$trace_ovh" ]; then
+  echo "check.sh: bench.json is missing census_trace_overhead_frac" >&2
+  exit 1
+fi
+if ! awk -v o="$trace_ovh" 'BEGIN { exit !(o <= 0.05) }'; then
+  echo "check.sh: pool trace overhead ${trace_ovh} exceeds the 5% ceiling" >&2
+  exit 1
+fi
+echo "(pool trace overhead: ${trace_ovh})"
 
 echo "== serve kill-and-resume gate (SIGKILL mid-census, resume, byte-identical) =="
 # The headline recovery invariant: a census SIGKILLed at a seeded commit
 # and resumed from its journal must converge to a final store that is
 # byte-identical to an uninterrupted run's.
 serve_tmp=$(mktemp -d)
-trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp" "$camp_tmp" "$serve_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$pool_tmp" "$golden_tmp" "$camp_tmp" "$serve_tmp"' EXIT
 serve="serve --sites 8 --training-runs 3 --seed 1234 --jobs 4"
 "$cli" $serve --store "$serve_tmp/ref.journal" >/dev/null || {
   echo "check.sh: reference serve run exited non-zero" >&2
@@ -241,13 +309,49 @@ if ! cmp -s "$serve_tmp/ref.journal" "$serve_tmp/once.journal"; then
   exit 1
 fi
 
+echo "== serve health gate (final status snapshot: jobs=4 must match jobs=1) =="
+# The live status file is wall-clock-bearing while running, but the final
+# snapshot quotes waits in commit ticks and nulls the rate fields, so it
+# inherits the determinism contract: jobs=1 and jobs=4 must leave
+# byte-identical JSON (and Prometheus text), and `stats --live` must
+# accept the schema.
+health="serve --sites 8 --training-runs 3 --seed 1234"
+"$cli" $health --jobs 1 --store "$serve_tmp/h1.journal" \
+  --status-file "$serve_tmp/h1.status.json" >/dev/null || {
+  echo "check.sh: serve --status-file --jobs 1 exited non-zero" >&2
+  exit 1
+}
+"$cli" $health --jobs 4 --store "$serve_tmp/h4.journal" \
+  --status-file "$serve_tmp/h4.status.json" >/dev/null || {
+  echo "check.sh: serve --status-file --jobs 4 exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$serve_tmp/h1.status.json" "$serve_tmp/h4.status.json"; then
+  diff "$serve_tmp/h1.status.json" "$serve_tmp/h4.status.json" || true
+  echo "check.sh: final status snapshot diverged between jobs=1 and jobs=4" >&2
+  exit 1
+fi
+if ! cmp -s "$serve_tmp/h1.status.json.prom" "$serve_tmp/h4.status.json.prom"; then
+  diff "$serve_tmp/h1.status.json.prom" "$serve_tmp/h4.status.json.prom" || true
+  echo "check.sh: Prometheus exposition diverged between jobs=1 and jobs=4" >&2
+  exit 1
+fi
+if ! grep -q '"phase":"final"' "$serve_tmp/h1.status.json"; then
+  echo "check.sh: final status snapshot is not in phase \"final\"" >&2
+  exit 1
+fi
+"$cli" stats --live "$serve_tmp/h1.status.json" >/dev/null || {
+  echo "check.sh: stats --live rejected the status snapshot" >&2
+  exit 1
+}
+
 echo "== fuzz smoke (adversarial search: jobs-independent, fixtures replay) =="
 # The coverage-guided search must be a pure function of its seed at any
 # worker count: a serial and a 4-worker run must produce byte-identical
 # summaries, corpus JSONL, and minimized fixture files — and must find at
 # least one counterexample at this budget (exit 1 means it found none).
 fuzz_tmp=$(mktemp -d)
-trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$golden_tmp" "$camp_tmp" "$serve_tmp" "$fuzz_tmp"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$pool_tmp" "$golden_tmp" "$camp_tmp" "$serve_tmp" "$fuzz_tmp"' EXIT
 fuzz="fuzz --budget 24 --seed 1234 --target cubic,vegas,yeah --log-level quiet"
 "$cli" $fuzz --jobs 1 --out "$fuzz_tmp/fx1" --corpus "$fuzz_tmp/c1.jsonl" >"$tmp1" || {
   echo "check.sh: fuzz --jobs 1 smoke found no counterexample (or crashed)" >&2
