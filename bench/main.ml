@@ -76,8 +76,8 @@ let guarded_floor_metrics = [ "serve_jobs_per_s" ]
    path broke), but its value is informational *)
 let presence_metrics =
   [
-    "pool_queue_wait_p99_us"; "pool_steal_frac"; "pool_busy_frac_mean";
-    "census_trace_overhead_frac";
+    "pool_queue_wait_p99_us"; "pool_queue_wait_p99_us_ub"; "pool_steal_frac";
+    "pool_busy_frac_mean"; "census_trace_overhead_frac"; "serve_alert_overhead_frac";
   ]
 
 let read_json_file path =
@@ -1098,6 +1098,11 @@ let engine () =
     trace_on_s (100.0 *. trace_overhead);
   record_json "pool_tasks" (string_of_int psum.Obs.Pooltrace.s_tasks);
   record_json_f "pool_queue_wait_p99_us" (if Float.is_nan wait_p99 then 0.0 else wait_p99);
+  (* the conservative companion: the p99 bucket's upper bound (what the
+     interpolated estimate is guaranteed not to exceed) *)
+  let wait_p99_ub = Obs.Histogram.quantile_ub psum.Obs.Pooltrace.s_wait_us 0.99 in
+  record_json_f "pool_queue_wait_p99_us_ub"
+    (if Float.is_nan wait_p99_ub then 0.0 else wait_p99_ub);
   record_json_f "pool_steal_frac" steal_frac;
   record_json "pool_busy_frac"
     (Printf.sprintf "[%s]" (String.concat ", " (List.map (Printf.sprintf "%.6f") busy)));
@@ -1156,10 +1161,63 @@ let serve () =
   Sys.remove replay_store;
   pf "journal replay of %d records: %.3f s; compaction: %.3f s\n" records replay_s
     compact_s;
+  (* alert-engine overhead: the same small serve workload with the full
+     default rule set armed vs disarmed, alternating order, median of
+     per-pair CPU-time ratios (same method and rationale as the
+     flight-recorder gate). Drift-ledger folding runs in both arms —
+     it is unconditional — so this isolates exactly what --alerts
+     adds. Budget: 5%. *)
+  let cpu_time f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let median xs =
+    let sorted = List.sort compare xs in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let alert_run armed =
+    let store = Filename.temp_file "bench_alert" ".journal" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists store then Sys.remove store)
+      (fun () ->
+        cpu_time (fun () ->
+            ignore
+              (Serve.Service.run ~control
+                 ~config:
+                   {
+                     cfg with
+                     Serve.Service.sites = min !sites 8;
+                     epochs = 2;
+                     alert_rules = (if armed then Serve.Alerts.default_rules else []);
+                   }
+                 ~store)))
+  in
+  let alert_pairs =
+    List.init 3 (fun pair ->
+        if pair mod 2 = 0 then
+          let off = alert_run false in
+          let on = alert_run true in
+          (off, on)
+        else
+          let on = alert_run true in
+          let off = alert_run false in
+          (off, on))
+  in
+  let alert_off_s = median (List.map fst alert_pairs) in
+  let alert_on_s = median (List.map snd alert_pairs) in
+  let alert_overhead =
+    median (List.map (fun (off, on) -> (on -. off) /. Float.max 1e-9 off) alert_pairs)
+  in
+  pf "alert engine: off %.2f s -> on %.2f s (overhead %+.1f%%; budget 5%%)\n" alert_off_s
+    alert_on_s (100.0 *. alert_overhead);
   record_json "serve_sites" (string_of_int cfg.Serve.Service.sites);
   record_json "serve_measured" (string_of_int summary.Serve.Service.measured);
   record_json_f "serve_epoch_s" serve_s;
   record_json_f "serve_jobs_per_s" jobs_per_s;
+  record_json_f "serve_alert_off_s" alert_off_s;
+  record_json_f "serve_alert_on_s" alert_on_s;
+  record_json_f "serve_alert_overhead_frac" alert_overhead;
   record_json "journal_records" (string_of_int records);
   record_json_f "journal_replay_s" replay_s;
   record_json_f "journal_compact_s" compact_s

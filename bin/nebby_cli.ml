@@ -1246,6 +1246,14 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "pool-trace" ] ~docv:"FILE" ~doc)
   in
+  let drift_store_arg =
+    let doc =
+      "Embed the deployment-drift section (stacked share-over-epochs chart plus \
+       change-point events, see $(b,nebby drift)) from this serve journal store into \
+       the dashboard."
+    in
+    Arg.(value & opt (some string) None & info [ "drift-store" ] ~docv:"STORE" ~doc)
+  in
   let accuracy_floor_arg =
     let doc = "Override the overall mean-accuracy floor gate." in
     Arg.(value & opt (some float) None & info [ "accuracy-floor" ] ~docv:"X" ~doc)
@@ -1286,7 +1294,7 @@ let campaign_cmd =
     [
       "census_parallel_s"; "census_flight_overhead_frac"; "census_provenance_overhead_frac";
       "census_trace_overhead_frac"; "pool_queue_wait_p99_us"; "pool_steal_frac";
-      "pool_busy_frac_mean";
+      "pool_busy_frac_mean"; "serve_alert_overhead_frac";
     ]
   in
   let trend_series () =
@@ -1331,8 +1339,8 @@ let campaign_cmd =
       gates
   in
   let run experiment seed count seed_list jobs runs sites region proto log_level out
-      summary_path html_path from bench_json no_gates pool_trace_file accuracy_floor
-      ci_ceiling =
+      summary_path html_path from bench_json no_gates pool_trace_file drift_store
+      accuracy_floor ci_ceiling =
     Obs.Runtime.set_level log_level;
     try
       match Internet.Campaign_runner.experiment_of_name experiment with
@@ -1405,9 +1413,16 @@ let campaign_cmd =
                     (In_channel.with_open_bin path In_channel.input_all))
                 pool_trace_file
             in
+            let drift =
+              Option.map
+                (fun store ->
+                  let ledger = Serve.Observatory.ledger_of_store ~store in
+                  (ledger, Obs.Drift.detect ledger))
+                drift_store
+            in
             write_file html_path
-              (Obs.Render.campaign_dashboard ?pool ~trend:(trend_series ()) ~gates:results
-                 ~summary ());
+              (Obs.Render.campaign_dashboard ?pool ?drift ~trend:(trend_series ())
+                 ~gates:results ~summary ());
             print_string (Obs.Campaign.render ~gates:results summary);
             if from = None then Printf.printf "\nstore     : %s\n" out
             else Printf.printf "\nstore     : %s (aggregated)\n"
@@ -1441,6 +1456,12 @@ let campaign_cmd =
          regenerate the trace with this binary\n"
         expected got;
       exit_usage
+    | Engine.Journal.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby campaign: drift-store schema version mismatch (expected %d, got %d); \
+         regenerate the store with this binary\n"
+        expected got;
+      exit_usage
     | Obs.Json.Parse_error msg ->
       Printf.eprintf "nebby campaign: %s\n" msg;
       exit_usage
@@ -1458,7 +1479,7 @@ let campaign_cmd =
       const run $ experiment_arg $ seed_arg $ seeds_count_arg $ seed_list_arg $ jobs_arg
       $ runs_arg $ sites_arg $ region_arg $ proto_arg $ log_level_arg $ out_arg
       $ summary_arg $ html_arg $ from_arg $ bench_json_arg $ no_gates_arg
-      $ pool_trace_file_arg $ accuracy_floor_arg $ ci_ceiling_arg)
+      $ pool_trace_file_arg $ drift_store_arg $ accuracy_floor_arg $ ci_ceiling_arg)
 
 let serve_cmd =
   let sites_arg =
@@ -1553,9 +1574,41 @@ let serve_cmd =
              $(docv).prom (Prometheus text exposition) after every batch; read it while \
              the daemon runs with $(b,nebby stats --live) $(docv).")
   in
+  let migrate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "migrate" ] ~docv:"FROM:TO:ONSET:RATE"
+          ~doc:
+            "Time-varying ground truth: from epoch $(i,ONSET) on, convert sites from CCA \
+             $(i,FROM) to $(i,TO) at $(i,RATE) weight points per epoch (e.g. \
+             cubic:bbr:2:4). Pair with $(b,--confidence-floor) > 1 so every epoch \
+             re-measures; the delta census otherwise carries stable verdicts forward and \
+             hides the movement.")
+  in
+  let alerts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts" ] ~docv:"RULES.json"
+          ~doc:
+            "Evaluate these alert rules each epoch (schema-versioned JSON; see \
+             EXPERIMENTS.md). Firing rules surface as nebby_alert gauges in the status \
+             exposition and as transitions in $(b,--alert-log).")
+  in
+  let alert_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alert-log" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSONL alert-transition log here (one fire/resolve edge per line, \
+             deduplicated while a breach persists). Implies the built-in default rules \
+             when $(b,--alerts) is not given.")
+  in
   let run sites region proto seed runs jobs epochs store deadline high_water batch
-      max_entries confidence_floor margin_floor kill compact_only status_file telemetry
-      log_level =
+      max_entries confidence_floor margin_floor kill compact_only status_file migrate
+      alerts alert_log telemetry log_level =
     Obs.Runtime.set_level log_level;
     let on_version_mismatch expected got =
       Printf.eprintf
@@ -1582,6 +1635,24 @@ let serve_cmd =
         exit_usage
       | Some region -> (
         try
+          let migration =
+            match migrate with
+            | None -> None
+            | Some spec -> (
+              match Internet.Population.migration_of_spec spec with
+              | Some m -> Some m
+              | None ->
+                Printf.eprintf
+                  "nebby serve: bad --migrate spec %S (expected FROM:TO:ONSET:RATE, e.g. \
+                   cubic:bbr:2:4)\n"
+                  spec;
+                exit exit_usage)
+          in
+          let alert_rules =
+            match alerts with
+            | Some path -> Serve.Alerts.load_rules path
+            | None -> if alert_log <> None then Serve.Alerts.default_rules else []
+          in
           let control = train runs in
           let config =
             {
@@ -1599,6 +1670,9 @@ let serve_cmd =
               margin_floor;
               kill_after_commits = kill;
               status_file;
+              migration;
+              alert_rules;
+              alert_log;
             }
           in
           let summary =
@@ -1616,13 +1690,30 @@ let serve_cmd =
           Printf.printf "overloads  : %d\n" summary.overloads;
           Printf.printf "torn tail  : %d record(s) dropped\n" summary.torn_dropped;
           Printf.printf "snapshots  : %d\n" summary.snapshots;
+          Option.iter
+            (fun m ->
+              Printf.printf "migration  : %s\n" (Internet.Population.migration_spec m))
+            migration;
+          if alert_rules <> [] then begin
+            Printf.printf "drift evts : %d\n" summary.drift_events;
+            Printf.printf "alerts     : %d fired (%d rule(s) armed)\n"
+              summary.alerts_fired (List.length alert_rules);
+            Option.iter (Printf.printf "alert log  : %s\n") alert_log
+          end
+          else Printf.printf "drift evts : %d\n" summary.drift_events;
           Option.iter (Printf.printf "status     : %s (+ .prom)\n") status_file;
           Option.iter (Printf.printf "telemetry  : %s\n") telemetry;
           exit_ok
         with
         | Engine.Journal.Version_mismatch { expected; got } ->
           on_version_mismatch expected got
-        | Obs.Json.Parse_error msg ->
+        | Serve.Alerts.Version_mismatch { expected; got } ->
+          Printf.eprintf
+            "nebby serve: alert-rules schema version mismatch (expected %d, got %d); \
+             regenerate the rules file for this binary\n"
+            expected got;
+          exit_usage
+        | Obs.Json.Parse_error msg | Sys_error msg ->
           Printf.eprintf "nebby serve: %s\n" msg;
           exit_usage)
   in
@@ -1636,7 +1727,148 @@ let serve_cmd =
       const run $ sites_arg $ region_arg $ proto_arg $ seed_arg $ runs_arg $ jobs_arg
       $ epochs_arg $ store_arg $ deadline_arg $ high_water_arg $ batch_arg
       $ max_entries_arg $ confidence_floor_arg $ margin_floor_arg $ kill_arg
-      $ compact_only_arg $ status_file_arg $ telemetry_arg $ log_level_arg)
+      $ compact_only_arg $ status_file_arg $ migrate_arg $ alerts_arg $ alert_log_arg
+      $ telemetry_arg $ log_level_arg)
+
+let drift_cmd =
+  let store_pos_arg =
+    let doc = "Serve journal store to analyze (as written by $(b,nebby serve --store))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the schema-versioned drift-ledger JSON here." in
+    Arg.(value & opt string "nebby-drift.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let html_arg =
+    let doc =
+      "Self-contained HTML drift dashboard (stacked share-over-epochs chart, \
+       change-point annotations, alert timeline, historical census context)."
+    in
+    Arg.(value & opt string "nebby-drift.html" & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let rules_arg =
+    let doc =
+      "Replay these alert rules offline over the ledger (same engine the serve daemon \
+       runs each epoch; epoch-ledger and drift signals only — the live health signals \
+       read 0 offline). Any rule firing makes the command exit 1."
+    in
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES.json" ~doc)
+  in
+  let alert_log_arg =
+    let doc =
+      "Embed this JSONL alert-transition log (as written by $(b,serve --alert-log)) \
+       into the dashboard's alert timeline instead of replaying rules."
+    in
+    Arg.(value & opt (some string) None & info [ "alert-log" ] ~docv:"FILE" ~doc)
+  in
+  let alert_out_arg =
+    let doc = "With $(b,--rules): also write the replayed transitions as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "alert-out" ] ~docv:"FILE" ~doc)
+  in
+  let run store out html_path rules alert_log alert_out =
+    try
+      let ledger = Serve.Observatory.ledger_of_store ~store in
+      let events = Obs.Drift.detect ledger in
+      write_file out (Obs.Json.to_string (Obs.Drift.to_json ledger) ^ "\n");
+      (* alert timeline: a saved serve log wins; otherwise replay rules
+         offline, per epoch, exactly as the daemon would have *)
+      let transitions =
+        match (alert_log, rules) with
+        | Some path, _ ->
+          In_channel.with_open_bin path In_channel.input_all
+          |> String.split_on_char '\n'
+          |> List.filter_map (fun l ->
+                 if l = "" then None
+                 else Some (Serve.Alerts.transition_of_json (Obs.Json.of_string l)))
+        | None, Some path ->
+          let engine = Serve.Alerts.create (Serve.Alerts.load_rules path) in
+          List.concat_map
+            (fun (p : Obs.Drift.point) ->
+              let epoch = p.Obs.Drift.epoch in
+              let at_epoch =
+                List.filter (fun e -> Obs.Drift.event_epoch e = epoch) events
+              in
+              Serve.Alerts.evaluate engine ~epoch
+                ~signal_value:
+                  (Serve.Alerts.signal_values ~point:p ~events:at_epoch ()))
+            ledger.Obs.Drift.points
+        | None, None -> []
+      in
+      (match (alert_out, rules) with
+      | Some path, Some _ ->
+        write_file path
+          (String.concat ""
+             (List.map
+                (fun tr ->
+                  Obs.Json.to_string (Serve.Alerts.transition_to_json tr) ^ "\n")
+                transitions))
+      | _ -> ());
+      let alerts =
+        List.map
+          (fun (tr : Serve.Alerts.transition) ->
+            ( tr.Serve.Alerts.epoch,
+              tr.Serve.Alerts.rule,
+              (match tr.Serve.Alerts.action with
+              | Serve.Alerts.Fire -> `Fire
+              | Serve.Alerts.Resolve -> `Resolve),
+              tr.Serve.Alerts.value,
+              tr.Serve.Alerts.limit ))
+          transitions
+      in
+      let historical =
+        List.map
+          (fun (s : Internet.Census_history.snapshot) ->
+            (s.Internet.Census_history.study, s.Internet.Census_history.year,
+             s.Internet.Census_history.shares))
+          Internet.Census_history.historical
+      in
+      write_file html_path (Obs.Render.drift_dashboard ~historical ~alerts ~ledger ~events ());
+      print_string (Obs.Drift.render ledger events);
+      Printf.printf "\nledger    : %s\ndashboard : %s\n" out html_path;
+      Option.iter
+        (fun p -> if rules <> None then Printf.printf "alert log : %s\n" p)
+        alert_out;
+      let fires =
+        List.filter (fun t -> t.Serve.Alerts.action = Serve.Alerts.Fire) transitions
+      in
+      if rules <> None && fires <> [] then begin
+        Printf.eprintf "nebby drift: %d alert rule(s) fired: %s\n" (List.length fires)
+          (String.concat ", "
+             (List.sort_uniq compare (List.map (fun t -> t.Serve.Alerts.rule) fires)));
+        exit_unclassified
+      end
+      else exit_ok
+    with
+    | Engine.Journal.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby drift: store schema version mismatch (expected %d, got %d); regenerate \
+         the store with this binary\n"
+        expected got;
+      exit_usage
+    | Serve.Alerts.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby drift: alert schema version mismatch (expected %d, got %d); regenerate \
+         the rules/log with this binary\n"
+        expected got;
+      exit_usage
+    | Obs.Drift.Version_mismatch { expected; got } ->
+      Printf.eprintf
+        "nebby drift: ledger schema version mismatch (expected %d, got %d)\n" expected got;
+      exit_usage
+    | Obs.Json.Parse_error msg | Sys_error msg ->
+      Printf.eprintf "nebby drift: %s\n" msg;
+      exit_usage
+  in
+  let doc =
+    "Deployment-drift observatory: fold a serve store's per-epoch verdicts into a \
+     schema-versioned drift ledger, run change-point detection (per-class CUSUM on \
+     share deltas), render the HTML dashboard, and optionally replay alert rules \
+     offline (exit 1 if any fire)."
+  in
+  Cmd.v (Cmd.info "drift" ~doc)
+    Term.(
+      const run $ store_pos_arg $ out_arg $ html_arg $ rules_arg $ alert_log_arg
+      $ alert_out_arg)
 
 let stats_cmd =
   let file_arg =
@@ -1670,9 +1902,31 @@ let stats_cmd =
     in
     Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
   in
-  let run file live pool chrome =
-    match (live, pool) with
-    | Some status_path, _ -> (
+  let drift_arg =
+    let doc =
+      "Render the drift-ledger text view of a serve store (epoch table plus \
+       change-point events; the full dashboard is $(b,nebby drift))."
+    in
+    Arg.(value & opt (some string) None & info [ "drift" ] ~docv:"STORE" ~doc)
+  in
+  let run file live pool chrome drift =
+    match (live, pool, drift) with
+    | _, _, Some store -> (
+      try
+        let ledger = Serve.Observatory.ledger_of_store ~store in
+        print_string (Obs.Drift.render ledger (Obs.Drift.detect ledger));
+        exit_ok
+      with
+      | Engine.Journal.Version_mismatch { expected; got } ->
+        Printf.eprintf
+          "nebby stats: store schema version mismatch (expected %d, got %d); regenerate \
+           the store with this binary\n"
+          expected got;
+        exit_usage
+      | Obs.Json.Parse_error msg | Sys_error msg ->
+        Printf.eprintf "nebby stats: %s\n" msg;
+        exit_usage)
+    | Some status_path, _, None -> (
       try
         print_string (Serve.Health.render (Serve.Health.read status_path));
         exit_ok
@@ -1686,7 +1940,7 @@ let stats_cmd =
       | Obs.Json.Parse_error msg | Sys_error msg ->
         Printf.eprintf "nebby stats: %s\n" msg;
         exit_usage)
-    | None, Some trace_path -> (
+    | None, Some trace_path, None -> (
       try
         let text = In_channel.with_open_bin trace_path In_channel.input_all in
         let trace = Obs.Pooltrace.of_string text in
@@ -1707,7 +1961,7 @@ let stats_cmd =
       | Obs.Json.Parse_error msg | Sys_error msg ->
         Printf.eprintf "nebby stats: %s\n" msg;
         exit_usage)
-    | None, None -> (
+    | None, None, None -> (
       let path =
         match file with
         | Some f -> Some f
@@ -1789,10 +2043,12 @@ let stats_cmd =
   in
   let doc =
     "Summarize the obs subsystems: a telemetry file, a live serve health snapshot \
-     ($(b,--live)), a pool scheduler trace ($(b,--pool)), or a fresh instrumented run \
-     (metrics, flight-recorder event counts, pool/histogram counters, profiler spans)."
+     ($(b,--live)), a pool scheduler trace ($(b,--pool)), a serve store's drift ledger \
+     ($(b,--drift)), or a fresh instrumented run (metrics, flight-recorder event \
+     counts, pool/histogram counters, profiler spans)."
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg $ live_arg $ pool_arg $ chrome_arg)
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ file_arg $ live_arg $ pool_arg $ chrome_arg $ drift_arg)
 
 let () =
   let doc = "Nebby: congestion control identification from BiF traces (simulated testbed)" in
@@ -1801,7 +2057,7 @@ let () =
     Cmd.group info
       [
         measure_cmd; trace_cmd; census_cmd; explain_cmd; report_cmd; accuracy_cmd;
-        chaos_cmd; fuzz_cmd; campaign_cmd; serve_cmd; stats_cmd;
+        chaos_cmd; fuzz_cmd; campaign_cmd; serve_cmd; drift_cmd; stats_cmd;
       ]
   in
   let code =

@@ -29,7 +29,42 @@ let draw_weighted rng weights =
   in
   pick 0.0 weights
 
-let generate ?(n = 20_000) ~seed () =
+type migration = { from_cca : string; to_cca : string; onset : int; rate : float }
+
+let default_migration = { from_cca = "cubic"; to_cca = "bbr"; onset = 2; rate = 4.0 }
+
+let migration_of_spec spec =
+  match String.split_on_char ':' spec with
+  | [ f; t; o; r ] -> (
+    match (int_of_string_opt o, float_of_string_opt r) with
+    | Some onset, Some rate when onset >= 0 && rate > 0.0 && f <> "" && t <> "" && f <> t
+      ->
+      Some { from_cca = f; to_cca = t; onset; rate }
+    | _ -> None)
+  | _ -> None
+
+let migration_spec m =
+  Printf.sprintf "%s:%s:%d:%g" m.from_cca m.to_cca m.onset m.rate
+
+(* How many base-weight points of [from_cca] have converted by [epoch]:
+   zero before onset, then [rate] points per epoch, saturating at the
+   class's full base weight. *)
+let converted_points m ~epoch =
+  let w_from = Option.value ~default:0.0 (List.assoc_opt m.from_cca base_weights) in
+  Float.min w_from (m.rate *. float_of_int (max 0 (epoch - m.onset + 1)))
+
+let weights_at m ~epoch =
+  let pts = converted_points m ~epoch in
+  List.map
+    (fun (cca, w) ->
+      if cca = m.from_cca then (cca, w -. pts)
+      else if cca = m.to_cca then (cca, w +. pts)
+      else (cca, w))
+    base_weights
+
+(* generation -------------------------------------------------------------- *)
+
+let generate_full ?(n = 20_000) ~seed () =
   let rng = Netsim.Rng.create seed in
   let make rank =
     let cca = draw_weighted rng base_weights in
@@ -84,16 +119,64 @@ let generate ?(n = 20_000) ~seed () =
       if Netsim.Rng.bool rng 0.22 then Netsim.Rng.uniform rng 8.0 20.0
       else Netsim.Rng.uniform rng 0.5 1.5
     in
-    {
-      Website.rank;
-      name = Printf.sprintf "site-%05d.example" rank;
-      cdn;
-      page_bytes = 400_000 + Netsim.Rng.int rng 800_000;
-      deployments;
-      quic;
-      quic_cca;
-      noise_factor;
-      ddos_sensitivity = Netsim.Rng.uniform rng 0.75 0.99;
-    }
+    ( {
+        Website.rank;
+        name = Printf.sprintf "site-%05d.example" rank;
+        cdn;
+        page_bytes = 400_000 + Netsim.Rng.int rng 800_000;
+        deployments;
+        quic;
+        quic_cca;
+        noise_factor;
+        ddos_sensitivity = Netsim.Rng.uniform rng 0.75 0.99;
+      },
+      cca )
   in
   List.init n (fun i -> make (i + 1))
+
+let generate ?n ~seed () = List.map fst (generate_full ?n ~seed ())
+
+(* Rewrite one site from its drawn CCA to the migration target: every
+   region deployed with [from_cca] flips, and the QUIC stack follows the
+   same only-CUBIC/BBR/Reno rule as generation. Everything else (rank,
+   CDN, noise, page size) is untouched — site identity is stable across
+   epochs, only its deployment moves. *)
+let convert_site m (site : Website.t) =
+  let deployments =
+    List.map
+      (fun (r, c) -> if c = m.from_cca then (r, m.to_cca) else (r, c))
+      site.Website.deployments
+  in
+  let quic_cca =
+    match site.Website.quic_cca with
+    | Some c when c = m.from_cca || (m.from_cca = "bbr2" && c = "bbr") -> (
+      match m.to_cca with
+      | "cubic" | "bbr" | "newreno" -> Some m.to_cca
+      | "bbr2" -> Some "bbr"
+      | _ -> site.Website.quic_cca)
+    | other -> other
+  in
+  { site with Website.deployments; quic_cca }
+
+let generate_at ?n ~seed ?(migration = default_migration) ~epoch () =
+  let sites = generate_full ?n ~seed () in
+  let w_from =
+    Option.value ~default:0.0 (List.assoc_opt migration.from_cca base_weights)
+  in
+  let pts = converted_points migration ~epoch in
+  if pts <= 0.0 || w_from <= 0.0 then List.map fst sites
+  else
+    let frac = Float.min 1.0 (pts /. w_from) in
+    List.map
+      (fun ((site : Website.t), cca) ->
+        if cca <> migration.from_cca then site
+        else
+          (* a per-site uniform drawn from a namespaced substream keyed
+             only by (seed, rank): monotone in [epoch], so a site that
+             converted at epoch e stays converted at every later epoch,
+             and sampling one epoch never perturbs another *)
+          let r =
+            Netsim.Rng.named (Netsim.Rng.substream ~seed site.Website.rank) "migration"
+          in
+          if Netsim.Rng.float r < frac then convert_site migration site else site)
+      sites

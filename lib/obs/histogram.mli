@@ -46,9 +46,21 @@ val max_value : t -> float
 
 val quantile : t -> float -> float
 (** [quantile h q] estimates the [q]-th quantile ([q] clamped to
-    [0,1]) as the midpoint of the bucket holding the ranked
-    observation, clamped to [[min_value, max_value]]. Worst-case
-    relative error is a factor of 2 (one octave). [nan] when empty. *)
+    [0,1]) by geometric interpolation within the bucket holding the
+    ranked observation (the centered in-bucket rank placed as a
+    fraction of the octave), clamped to [[min_value, max_value]].
+    Worst-case relative error is a factor of 2 (one octave); unlike
+    the former bucket-midpoint rule, a sparse tail bucket no longer
+    reports its upper half regardless of where the observation fell.
+    [nan] when empty; underflow-bucket ranks report 0. *)
+
+val quantile_ub : t -> float -> float
+(** [quantile_ub h q] is a guaranteed upper bound on the [q]-th ranked
+    observation: the holding bucket's upper edge [2^e], tightened to
+    [max_value]. This is (up to the old clamping) what {!quantile}
+    used to report; perf ledgers keep it under [*_ub] keys so
+    conservative gating survives the interpolation fix. [nan] when
+    empty. *)
 
 val merge_into : dst:t -> t -> unit
 (** Fold a histogram into [dst] (bucket-exact, see above). The source

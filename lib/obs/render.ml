@@ -699,7 +699,258 @@ let cells_with_prefix prefix cells =
       else None)
     cells
 
-let campaign_dashboard ?(trend = []) ?(gates = []) ?pool ~summary () =
+(* drift observatory ------------------------------------------------------- *)
+
+(* Okabe-Ito plus darker fill-ins: enough distinct hues for the
+   Table-11 class roster; Unclassified is always the neutral grey. *)
+let drift_palette =
+  [| "#0072b2"; "#d55e00"; "#009e73"; "#e69f00"; "#cc79a7"; "#56b4e9"; "#b2a800";
+     "#8c510a"; "#762a83"; "#1b7837"; "#b2182b"; "#2166ac" |]
+
+let drift_color i cls =
+  if cls = "Unclassified" then "#bbbbbb"
+  else drift_palette.(i mod Array.length drift_palette)
+
+(* Stacked-order classes: dominant bands at the bottom of the chart,
+   Unclassified always on top, name as the tie-break. *)
+let drift_class_order (l : Drift.ledger) =
+  let weight c =
+    List.fold_left (fun acc p -> acc +. Drift.share p c) 0.0 l.Drift.points
+  in
+  List.sort
+    (fun a b ->
+      match (a = "Unclassified", b = "Unclassified") with
+      | true, false -> 1
+      | false, true -> -1
+      | _ ->
+        let wa = weight a and wb = weight b in
+        if wa <> wb then compare wb wa else compare a b)
+    (Drift.classes l)
+
+let drift_event_rate = function
+  | Drift.Emerged { rate_per_epoch; _ }
+  | Drift.Collapsed { rate_per_epoch; _ }
+  | Drift.Migration { rate_per_epoch; _ } ->
+    rate_per_epoch
+
+(* Share-over-epochs stacked area chart with drift-event annotations.
+   Shares are percentages, so the y axis is fixed at 0..100 and runs
+   with different populations stay visually comparable. *)
+let drift_stack_svg (l : Drift.ledger) (events : Drift.event list) =
+  let pts =
+    match l.Drift.points with
+    | [ p ] -> [| p; p |] (* one epoch: draw flat full-width bands *)
+    | ps -> Array.of_list ps
+  in
+  let n = Array.length pts in
+  if n = 0 then "<p class=\"note\">empty ledger &#8212; no epochs recorded</p>\n"
+  else begin
+    let order = drift_class_order l in
+    let x i = ml +. (float_of_int i /. float_of_int (n - 1) *. (cw -. ml -. mr)) in
+    let y pct =
+      mt +. ((1.0 -. (Float.max 0.0 (Float.min 100.0 pct) /. 100.0)) *. (ch -. mt -. mb))
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+          xmlns=\"http://www.w3.org/2000/svg\">\n"
+         (coord cw) (coord ch) (coord cw) (coord ch));
+    (* y grid + labels at quartile shares *)
+    List.iter
+      (fun pct ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+              stroke-width=\"0.5\"/>\n"
+             (coord ml) (coord (y pct)) (coord (cw -. mr)) (coord (y pct)) c_grid);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%s\" y=\"%s\" font-size=\"9\" text-anchor=\"end\" \
+              fill=\"%s\">%s%%</text>\n"
+             (coord (ml -. 4.0))
+             (coord (y pct +. 3.0))
+             c_axis (fnum pct)))
+      [ 0.0; 25.0; 50.0; 75.0; 100.0 ];
+    (* stacked bands, bottom-up *)
+    let base = Array.make n 0.0 in
+    List.iteri
+      (fun ci cls ->
+        let pts_fwd =
+          List.init n (fun i ->
+              Printf.sprintf "%s,%s" (coord (x i))
+                (coord (y (base.(i) +. Drift.share pts.(i) cls))))
+        in
+        let pts_back =
+          List.init n (fun k ->
+              let i = n - 1 - k in
+              Printf.sprintf "%s,%s" (coord (x i)) (coord (y base.(i))))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<polygon points=\"%s\" fill=\"%s\" fill-opacity=\"0.75\" \
+              stroke=\"%s\" stroke-width=\"0.6\"/>\n"
+             (String.concat " " (pts_fwd @ pts_back))
+             (drift_color ci cls) (drift_color ci cls));
+        Array.iteri (fun i b -> base.(i) <- b +. Drift.share pts.(i) cls) base)
+      order;
+    (* x labels: epoch numbers, thinned when dense *)
+    let stride = max 1 ((n + 15) / 16) in
+    Array.iteri
+      (fun i p ->
+        if i mod stride = 0 || i = n - 1 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%s\" y=\"%s\" font-size=\"9\" text-anchor=\"middle\" \
+                fill=\"%s\">e%d</text>\n"
+               (coord (x i))
+               (coord (ch -. mb +. 12.0))
+               c_axis p.Drift.epoch))
+      pts;
+    (* drift-event annotations: a dashed vertical at the alarm epoch *)
+    let index_of_epoch e =
+      let found = ref None in
+      Array.iteri (fun i p -> if !found = None && p.Drift.epoch = e then found := Some i) pts;
+      !found
+    in
+    List.iteri
+      (fun k ev ->
+        match index_of_epoch (Drift.event_epoch ev) with
+        | None -> ()
+        | Some i ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+                stroke-width=\"1.2\" stroke-dasharray=\"4 3\"/>\n"
+               (coord (x i)) (coord mt) (coord (x i))
+               (coord (ch -. mb))
+               c_fault);
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%s\" y=\"%s\" font-size=\"9\" fill=\"%s\">%s</text>\n"
+               (coord (x i +. 3.0))
+               (coord (mt +. 10.0 +. (float_of_int (k mod 3) *. 11.0)))
+               c_fault
+               (esc (Drift.event_label ev))))
+      events;
+    Buffer.add_string buf "</svg>\n";
+    Buffer.add_string buf
+      (legend_entries
+         (List.mapi (fun ci cls -> (drift_color ci cls, cls)) order));
+    Buffer.contents buf
+  end
+
+let drift_epoch_table buf (l : Drift.ledger) =
+  Buffer.add_string buf
+    "<table><tr><th>epoch</th><th>hosts</th><th>unknown %</th><th>mean \
+     conf</th><th>mean margin</th><th>timeouts</th><th>top classes</th></tr>\n";
+  List.iter
+    (fun (p : Drift.point) ->
+      let top =
+        List.sort
+          (fun (ca, pa) (cb, pb) -> if pa <> pb then compare pb pa else compare ca cb)
+          p.Drift.shares
+      in
+      let top =
+        List.filteri (fun i _ -> i < 3) top
+        |> List.map (fun (c, pct) -> Printf.sprintf "%s %s%%" c (fnum pct))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td>e%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td>\
+            <td>%s</td></tr>\n"
+           p.Drift.epoch p.Drift.hosts
+           (fnum p.Drift.unknown_share)
+           (fnum p.Drift.mean_confidence)
+           (fnum p.Drift.mean_margin) p.Drift.timeouts
+           (esc (String.concat ", " top))))
+    l.Drift.points;
+  Buffer.add_string buf "</table>\n"
+
+let drift_section buf ~ledger ~events =
+  Buffer.add_string buf (drift_stack_svg ledger events);
+  (match events with
+  | [] ->
+    Buffer.add_string buf
+      "<p class=\"note\">no change-point events detected</p>\n"
+  | events ->
+    Buffer.add_string buf
+      "<table><tr><th>epoch</th><th>event</th><th>rate (pts/epoch)</th></tr>\n";
+    List.iter
+      (fun ev ->
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>e%d</td><td>%s</td><td>%s</td></tr>\n"
+             (Drift.event_epoch ev)
+             (esc (Drift.event_label ev))
+             (fnum (drift_event_rate ev))))
+      events;
+    Buffer.add_string buf "</table>\n")
+
+let drift_dashboard ?(historical = []) ?(alerts = []) ~ledger ~events () =
+  let l : Drift.ledger = ledger in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>nebby drift: %s</title>\n" (esc l.Drift.subject));
+  Buffer.add_string buf
+    (Printf.sprintf "<style>\n%s%s</style>\n</head>\n<body>\n" style campaign_style);
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>nebby drift observatory &#8212; %s</h1>\n"
+       (esc l.Drift.subject));
+  Buffer.add_string buf "<table class=\"meta\">\n";
+  meta_row buf "subject" l.Drift.subject;
+  meta_row buf "epochs" (string_of_int (List.length l.Drift.points));
+  meta_row buf "classes" (string_of_int (List.length (Drift.classes l)));
+  meta_row buf "events" (string_of_int (List.length events));
+  Buffer.add_string buf "</table>\n";
+  section buf "Share over epochs";
+  drift_section buf ~ledger ~events;
+  section buf "Epoch ledger";
+  drift_epoch_table buf l;
+  section buf "Alert timeline";
+  (match alerts with
+  | [] -> Buffer.add_string buf "<p class=\"note\">no alert transitions</p>\n"
+  | alerts ->
+    Buffer.add_string buf
+      "<table><tr><th>epoch</th><th>rule</th><th>action</th><th>value</th>\
+       <th>limit</th></tr>\n";
+    List.iter
+      (fun (epoch, rule, action, value, limit) ->
+        let cls, txt =
+          match action with `Fire -> ("fail", "FIRE") | `Resolve -> ("pass", "RESOLVE")
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>e%d</td><td>%s</td><td class=\"%s\">%s</td><td>%s</td>\
+              <td>%s</td></tr>\n"
+             epoch (esc rule) cls txt (fnum value) (fnum limit)))
+      alerts;
+    Buffer.add_string buf "</table>\n");
+  (match historical with
+  | [] -> ()
+  | rows ->
+    section buf "Historical context (Census_history)";
+    Buffer.add_string buf
+      "<table><tr><th>study</th><th>year</th><th>shares</th></tr>\n";
+    List.iter
+      (fun (study, year, shares) ->
+        let txt =
+          String.concat ", "
+            (List.map (fun (c, pct) -> Printf.sprintf "%s %s%%" c (fnum pct)) shares)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>%s</td><td>%d</td><td>%s</td></tr>\n" (esc study)
+             year (esc txt)))
+      rows;
+    Buffer.add_string buf "</table>\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"note\">drift ledger schema v%d &#183; generated by nebby drift</p>\n"
+       Drift.schema_version);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let campaign_dashboard ?(trend = []) ?(gates = []) ?pool ?drift ~summary () =
   let s : Campaign.summary = summary in
   let buf = Buffer.create 16384 in
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
@@ -818,6 +1069,11 @@ let campaign_dashboard ?(trend = []) ?(gates = []) ?pool ~summary () =
   | Some trace ->
     section buf "Pool scheduler (this run — wall-clock, not deterministic)";
     pool_section buf trace);
+  (match drift with
+  | None -> ()
+  | Some (ledger, events) ->
+    section buf "Deployment drift (serve store)";
+    drift_section buf ~ledger ~events);
   (match trend with
   | [] -> ()
   | trend ->

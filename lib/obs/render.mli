@@ -41,10 +41,31 @@ val pool_report_html : trace:Pooltrace.t -> unit -> string
     table. Byte-identical for equal traces, like
     {!measurement_report}. *)
 
+val drift_dashboard :
+  ?historical:(string * int * (string * float) list) list ->
+  ?alerts:(int * string * [ `Fire | `Resolve ] * float * float) list ->
+  ledger:Drift.ledger ->
+  events:Drift.event list ->
+  unit ->
+  string
+(** Render a {!Drift.ledger} and its detected events to a
+    self-contained HTML drift observatory: a stacked share-over-epochs
+    area chart (0–100%, dominant classes at the bottom, Unclassified
+    in grey on top) with dashed verticals at each change-point alarm,
+    the per-epoch ledger table, the alert timeline ([(epoch, rule,
+    edge, value, limit)] rows, typically from the serve JSONL alert
+    log), and the [historical] context rows ([(study, year, shares)],
+    typically [Internet.Census_history.historical]) that anchor the
+    synthetic trajectory against the published censuses. An empty
+    ledger degrades to a note; a one-epoch ledger draws flat
+    full-width bands. Byte-identical for equal inputs, like
+    {!measurement_report}. *)
+
 val campaign_dashboard :
   ?trend:(string * (string * float) list) list ->
   ?gates:Campaign.gate_result list ->
   ?pool:Pooltrace.t ->
+  ?drift:Drift.ledger * Drift.event list ->
   summary:Campaign.summary ->
   unit ->
   string
@@ -60,7 +81,10 @@ val campaign_dashboard :
     given, a scheduler-utilization section (see {!pool_report_html})
     is embedded; its wall-clock contents are excluded from the
     dashboard's determinism contract, so the CLI only passes it on
-    explicit request.
+    explicit request. When [drift] is given (a serve store's ledger
+    plus its detected events), the stacked share-over-epochs chart and
+    event table from {!drift_dashboard} are embedded as an extra
+    section.
 
     Degrades deterministically at the edges: an empty campaign (0
     seeds) renders a note instead of charts, single-seed cells draw

@@ -119,7 +119,7 @@ let of_json j =
 (* Prometheus text exposition. Quantiles follow the summary-metric
    convention; wait histograms are in commit ticks, which is what makes
    them comparable across hosts and jobs counts. *)
-let to_prometheus s =
+let to_prometheus ?(extra = "") s =
   let buf = Buffer.create 2048 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
   let num v =
@@ -139,15 +139,19 @@ let to_prometheus s =
   line "# HELP nebby_serve_measured_total Sites measured.";
   line "# TYPE nebby_serve_measured_total counter";
   line "nebby_serve_measured_total %d" s.measured;
+  line "# HELP nebby_serve_recovered_total Keys found already journaled (crash recovery).";
   line "# TYPE nebby_serve_recovered_total counter";
   line "nebby_serve_recovered_total %d" s.recovered;
+  line "# HELP nebby_serve_carried_total Non-decayed verdicts copied forward to the epoch.";
   line "# TYPE nebby_serve_carried_total counter";
   line "nebby_serve_carried_total %d" s.carried;
+  line "# HELP nebby_serve_timeouts_total Watchdog deadline hits.";
   line "# TYPE nebby_serve_timeouts_total counter";
   line "nebby_serve_timeouts_total %d" s.timeouts;
   line "# HELP nebby_serve_commits_total Journal puts.";
   line "# TYPE nebby_serve_commits_total counter";
   line "nebby_serve_commits_total %d" s.commits;
+  line "# HELP nebby_serve_journal_records Live keys in the verdict journal.";
   line "# TYPE nebby_serve_journal_records gauge";
   line "nebby_serve_journal_records %d" s.journal_records;
   line "# HELP nebby_serve_journal_lag Admitted jobs not yet committed.";
@@ -176,6 +180,7 @@ let to_prometheus s =
       end;
       line "nebby_serve_wait_ticks_count{prio=\"%d\"} %d" prio (Obs.Histogram.count h))
     s.waits;
+  Buffer.add_string buf extra;
   Buffer.contents buf
 
 let render s =
@@ -218,9 +223,9 @@ let atomic_write path text =
   Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc text);
   Sys.rename tmp path
 
-let write ~path s =
+let write ?extra ~path s =
   atomic_write path (Obs.Json.to_string (to_json s) ^ "\n");
-  atomic_write (path ^ ".prom") (to_prometheus s)
+  atomic_write (path ^ ".prom") (to_prometheus ?extra s)
 
 let read path =
   let text = In_channel.with_open_bin path In_channel.input_all in

@@ -47,16 +47,21 @@ val of_json : Obs.Json.t -> snapshot
 (** Raises [Obs.Json.Parse_error] on shape mismatch, {!Version_mismatch}
     on schema skew. *)
 
-val to_prometheus : snapshot -> string
+val to_prometheus : ?extra:string -> snapshot -> string
 (** Prometheus text exposition (gauges, counters, and per-priority
-    wait-quantile summaries under the [nebby_serve_] prefix). *)
+    wait-quantile summaries under the [nebby_serve_] prefix). Every
+    exposed metric carries both a [# HELP] and a [# TYPE] line —
+    test_serve asserts this pairing. [extra] (default empty) is
+    appended verbatim: the daemon passes {!Alerts.gauges} here so
+    alert state rides the same scrape. *)
 
 val render : snapshot -> string
 (** Fixed-width text table for [nebby stats --live]. *)
 
-val write : path:string -> snapshot -> unit
+val write : ?extra:string -> path:string -> snapshot -> unit
 (** Atomically (temp + rename) write the JSON snapshot to [path] and
-    the Prometheus exposition to [path ^ ".prom"]. *)
+    the Prometheus exposition (with [extra] appended) to
+    [path ^ ".prom"]. *)
 
 val read : string -> snapshot
 (** Parse a snapshot file written by {!write}. *)

@@ -28,6 +28,9 @@ type config = {
   margin_floor : float;
   kill_after_commits : int option;
   status_file : string option;
+  migration : Internet.Population.migration option;
+  alert_rules : Alerts.rule list;
+  alert_log : string option;
 }
 
 let default_config =
@@ -46,6 +49,9 @@ let default_config =
     margin_floor = 2.0;
     kill_after_commits = None;
     status_file = None;
+    migration = None;
+    alert_rules = [];
+    alert_log = None;
   }
 
 type summary = {
@@ -56,6 +62,8 @@ type summary = {
   overloads : int;
   torn_dropped : int;
   snapshots : int;
+  drift_events : int;
+  alerts_fired : int;
 }
 
 type job = {
@@ -172,6 +180,10 @@ type state = {
   mutable epoch_now : int;
   t_start : float;  (* wall start, for the running-phase jobs/s gauge *)
   wait_hists : Obs.Histogram.t array;  (* per priority, in commit ticks *)
+  alerts : Alerts.t option;
+  mutable drift_points : Obs.Drift.point list;  (* newest first *)
+  mutable drift_event_count : int;
+  mutable transitions : Alerts.transition list;  (* newest first *)
 }
 
 (* The live health surface: everything except jobs_per_s is counted in
@@ -204,7 +216,9 @@ let status st ~phase =
 let write_status st ~phase =
   match st.cfg.status_file with
   | None -> ()
-  | Some path -> Health.write ~path (status st ~phase)
+  | Some path ->
+    let extra = Option.map Alerts.gauges st.alerts in
+    Health.write ?extra ~path (status st ~phase)
 
 let observe_wait st (job : job) =
   Obs.Histogram.observe st.wait_hists.(job.prio)
@@ -310,20 +324,25 @@ let run_epoch st ~control ~websites epoch =
   while Job_queue.depth st.queue > 0 do
     process_batch st ~control
   done;
-  (* the epoch is fully durable: fold its labels into a drift snapshot *)
+  (* the epoch is fully durable: fold its verdicts into a
+     Census_history snapshot (once) and a drift-ledger point (always —
+     a resumed run rebuilds the same points from the same records) *)
+  let values =
+    List.filter_map
+      (fun site ->
+        Engine.Journal.find st.store
+          (epoch_key ~control ~proto:cfg.proto ~region:cfg.region ~epoch site))
+      websites
+  in
   let skey = snapshot_key epoch in
   if not (Engine.Journal.mem st.store skey) then begin
     let tally = Hashtbl.create 16 in
     List.iter
-      (fun site ->
-        let key = epoch_key ~control ~proto:cfg.proto ~region:cfg.region ~epoch site in
-        match Engine.Journal.find st.store key with
-        | None -> ()
-        | Some v ->
-          let label = label_of_value v in
-          Hashtbl.replace tally label
-            (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
-      websites;
+      (fun v ->
+        let label = label_of_value v in
+        Hashtbl.replace tally label
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
+      values;
     let counts =
       List.sort
         (fun (la, na) (lb, nb) -> if na <> nb then compare nb na else compare la lb)
@@ -334,7 +353,45 @@ let run_epoch st ~control ~websites epoch =
     in
     flight ~epoch ~event:"snapshot" ~value:(float_of_int (List.length counts));
     commit st ~key:skey ~value:(Obs.Json.to_string (snapshot_to_json snapshot))
-  end
+  end;
+  (* change-point detection over the ledger so far: CUSUM state is
+     forward-only, so detecting on each prefix fires the same alarms
+     the full-ledger pass would *)
+  let point = Observatory.point_of_values ~epoch values in
+  st.drift_points <- point :: st.drift_points;
+  let ledger = Obs.Drift.make ~subject:"serve" (List.rev st.drift_points) in
+  let events =
+    List.filter
+      (fun e -> Obs.Drift.event_epoch e = epoch)
+      (Obs.Drift.detect ledger)
+  in
+  st.drift_event_count <- st.drift_event_count + List.length events;
+  List.iter
+    (fun e ->
+      armed_incr "serve.drift.events";
+      flight ~epoch ~event:"drift"
+        ~value:
+          (match e with
+          | Obs.Drift.Emerged { rate_per_epoch; _ }
+          | Obs.Drift.Collapsed { rate_per_epoch; _ }
+          | Obs.Drift.Migration { rate_per_epoch; _ } ->
+            rate_per_epoch))
+    events;
+  (match st.alerts with
+  | None -> ()
+  | Some engine ->
+    let signal_value =
+      Alerts.signal_values ~health:(status st ~phase:"running") ~point ~events ()
+    in
+    let edges = Alerts.evaluate engine ~epoch ~signal_value in
+    List.iter
+      (fun (tr : Alerts.transition) ->
+        armed_incr "serve.alerts.transitions";
+        flight ~epoch
+          ~event:(match tr.action with Alerts.Fire -> "alert_fire" | Alerts.Resolve -> "alert_resolve")
+          ~value:tr.value)
+      edges;
+    st.transitions <- List.rev_append edges st.transitions)
 
 let run ~control ~config ~store =
   let torn = ref 0 in
@@ -363,14 +420,26 @@ let run ~control ~config ~store =
             Obs.Histogram.create
               ~name:(Printf.sprintf "serve.wait_ticks.prio%d" prio)
               ());
+      alerts =
+        (if config.alert_rules = [] then None else Some (Alerts.create config.alert_rules));
+      drift_points = [];
+      drift_event_count = 0;
+      transitions = [];
     }
   in
   Fun.protect
     ~finally:(fun () -> Engine.Journal.close journal)
     (fun () ->
-      let websites = Internet.Population.generate ~n:config.sites ~seed:config.seed () in
+      let base = Internet.Population.generate ~n:config.sites ~seed:config.seed () in
+      let websites_at epoch =
+        match config.migration with
+        | None -> base
+        | Some migration ->
+          Internet.Population.generate_at ~n:config.sites ~seed:config.seed ~migration
+            ~epoch ()
+      in
       for epoch = 0 to max 0 (config.epochs - 1) do
-        run_epoch st ~control ~websites epoch
+        run_epoch st ~control ~websites:(websites_at epoch) epoch
       done;
       (* graceful drain: stop admission, finish what is queued, then
          rewrite the store in canonical form *)
@@ -382,6 +451,20 @@ let run ~control ~config ~store =
         ~value:(float_of_int (Engine.Journal.length journal));
       Engine.Journal.compact journal;
       write_status st ~phase:"final";
+      (match config.alert_log with
+      | None -> ()
+      | Some path ->
+        let buf = Buffer.create 512 in
+        List.iter
+          (fun tr ->
+            Buffer.add_string buf (Obs.Json.to_string (Alerts.transition_to_json tr));
+            Buffer.add_char buf '\n')
+          (List.rev st.transitions);
+        (* atomic like the status file: a watcher never reads a torn log *)
+        let tmp = path ^ ".tmp" in
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf));
+        Sys.rename tmp path);
       {
         measured = st.measured;
         recovered = st.recovered;
@@ -394,6 +477,10 @@ let run ~control ~config ~store =
             (List.filter
                (fun k -> String.length k >= 9 && String.sub k 0 9 = "snapshot|")
                (Engine.Journal.keys journal));
+        drift_events = st.drift_event_count;
+        alerts_fired =
+          List.length
+            (List.filter (fun tr -> tr.Alerts.action = Alerts.Fire) st.transitions);
       })
 
 let compact_store ~store =

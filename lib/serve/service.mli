@@ -59,6 +59,20 @@ type config = {
           Prometheus exposition at [path ^ ".prom"]) after every batch
           and once more — [phase = "final"], deterministic content — at
           the end of the run *)
+  migration : Internet.Population.migration option;
+      (** time-varying ground truth: regenerate the population with
+          {!Internet.Population.generate_at} each epoch instead of
+          holding it fixed. Pair with [confidence_floor > 1] so every
+          epoch re-measures — the delta census otherwise carries stable
+          verdicts forward and hides the movement until they decay *)
+  alert_rules : Alerts.rule list;
+      (** evaluated once per finished epoch over the epoch's ledger
+          point, its drift events, and the health counters; [[]] (the
+          default) disables alerting entirely *)
+  alert_log : string option;
+      (** where to write the JSONL alert-transition log (atomically, at
+          the end of the run); requires [alert_rules <> []] to ever be
+          non-empty *)
 }
 
 val default_config : config
@@ -74,6 +88,8 @@ type summary = {
   overloads : int;  (** pushes rejected at the high-water mark *)
   torn_dropped : int;  (** torn tail records dropped on journal open *)
   snapshots : int;  (** epoch snapshots committed *)
+  drift_events : int;  (** change-point events detected across the run *)
+  alerts_fired : int;  (** alert rules that transitioned to firing *)
 }
 
 val run :
@@ -83,9 +99,17 @@ val run :
     {!Engine.Journal.Version_mismatch} on schema skew (the CLI maps it
     to exit code 2). Progress is observable when telemetry is armed:
     [serve.measured] / [serve.recovered] / [serve.watchdog.timeouts] /
-    [serve.journal.torn] counters next to the queue's own, and [Serve]
-    flight-recorder events ("recovered" / "timeout" / "torn_drop" /
-    "snapshot" / "drain"). *)
+    [serve.journal.torn] / [serve.drift.events] /
+    [serve.alerts.transitions] counters next to the queue's own, and
+    [Serve] flight-recorder events ("recovered" / "timeout" /
+    "torn_drop" / "snapshot" / "drift" / "alert_fire" /
+    "alert_resolve" / "drain").
+
+    Each finished epoch additionally folds its verdicts into an
+    {!Obs.Drift} ledger point, runs change-point detection over the
+    ledger so far, and — when [alert_rules] is non-empty — evaluates
+    the alert engine, appending firing/resolved transitions to the
+    alert log and [nebby_alert] gauges to the status exposition. *)
 
 val compact_store : store:string -> int
 (** Open the journal at [store], compact it canonically, close it, and

@@ -141,6 +141,55 @@ let test_render () =
   let t1 = Obs.Histogram.render [ h ] in
   Alcotest.(check string) "render is a pure function" t1 (Obs.Histogram.render [ h ])
 
+(* the tail-inflation regression: a 16-observation histogram whose
+   values all land in one high octave used to report the bucket
+   three-quarter point (e.g. p99 = 1572864 us for a 16-task census)
+   regardless of where the mass actually sat. Interpolation must spread
+   estimates across the bucket and never exceed the observed range. *)
+let test_quantile_interpolates_within_bucket () =
+  let h = Obs.Histogram.create () in
+  (* all four in bucket [1024, 2048) *)
+  observe_all h [ 1100.0; 1300.0; 1600.0; 2000.0 ];
+  let q0 = Obs.Histogram.quantile h 0.0 and q1 = Obs.Histogram.quantile h 1.0 in
+  Alcotest.(check bool) "low and high quantiles differ inside one bucket" true (q0 < q1);
+  List.iter
+    (fun q ->
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g estimate %g within observed range" q est)
+        true
+        (est >= 1100.0 && est <= 2000.0))
+    [ 0.0; 0.25; 0.5; 0.75; 0.99; 1.0 ];
+  (* monotone in q *)
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool) (Printf.sprintf "monotone at q=%g" q) true (est >= !prev);
+      prev := est)
+    [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
+
+let test_quantile_ub_bounds () =
+  let h = Obs.Histogram.create () in
+  observe_all h [ 3.0; 5.0 ];
+  (* rank 1 sits in bucket (2,4]: ub is the bucket top; rank 2 sits in
+     (4,8] but the ub clamps to the observed max *)
+  Alcotest.(check (float 1e-9)) "q=0 bucket upper bound" 4.0
+    (Obs.Histogram.quantile_ub h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 clamps to max" 5.0 (Obs.Histogram.quantile_ub h 1.0);
+  Alcotest.(check bool) "empty ub is nan" true
+    (Float.is_nan (Obs.Histogram.quantile_ub (Obs.Histogram.create ()) 0.5));
+  (* the interpolated estimate never exceeds its own upper bound *)
+  let big = Obs.Histogram.create () in
+  observe_all big (List.init 100 (fun i -> 1.0 +. (float_of_int i *. 17.3)));
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quantile <= quantile_ub at q=%g" q)
+        true
+        (Obs.Histogram.quantile big q <= Obs.Histogram.quantile_ub big q +. 1e-9))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
 let test_registry () =
   Obs.Histogram.reset ();
   let h = Obs.Histogram.get "reg.a" in
@@ -168,5 +217,9 @@ let suite =
     Alcotest.test_case "merge_into equals direct observation" `Quick test_merge_into_manual;
     Alcotest.test_case "JSON round-trip byte identity" `Quick test_json_round_trip;
     Alcotest.test_case "render: empty dashes, empty-list note, purity" `Quick test_render;
+    Alcotest.test_case "quantiles interpolate within a bucket (tail regression)" `Quick
+      test_quantile_interpolates_within_bucket;
+    Alcotest.test_case "quantile_ub bounds the interpolated estimate" `Quick
+      test_quantile_ub_bounds;
     Alcotest.test_case "registry get/all/drain/absorb" `Quick test_registry;
   ]

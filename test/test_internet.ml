@@ -150,6 +150,37 @@ let test_census_history () =
   Alcotest.(check (float 1e-6)) "share computed" 50.0
     (List.assoc "CUBIC" snap.Internet.Census_history.shares)
 
+let test_class_of_label_novel () =
+  let cls = Internet.Census_history.class_of_label in
+  (* the BBR family maps onto its published display classes *)
+  Alcotest.(check string) "bbr" "BBRv1" (cls "bbr");
+  Alcotest.(check string) "bbr2" "BBRv2" (cls "bbr2");
+  Alcotest.(check string) "bbr3" "BBRv3" (cls "bbr3");
+  Alcotest.(check string) "bbr_unknown folds into BBRv3" "BBRv3" (cls "bbr_unknown");
+  (* verdicts the censuses can't place are Unclassified, not dropped *)
+  List.iter
+    (fun l ->
+      Alcotest.(check string) (Printf.sprintf "%s unclassified" l) "Unclassified" (cls l))
+    [ "unknown"; "unresponsive"; "copa"; "vivace" ];
+  (* a label the registry has never seen passes through verbatim so a
+     novel deployment shows up by name instead of vanishing *)
+  List.iter
+    (fun l -> Alcotest.(check string) (Printf.sprintf "%s passthrough" l) l (cls l))
+    [ "bbr4"; "prague"; "swift" ]
+
+let test_snapshot_of_empty_tally () =
+  let snap = Internet.Census_history.snapshot_of_census ~total_hosts:0 [] in
+  Alcotest.(check (list (pair string (float 1e-9)))) "empty tally yields no shares" []
+    snap.Internet.Census_history.shares;
+  (* an all-zero tally is dropped rather than dividing by zero *)
+  let zeros =
+    Internet.Census_history.snapshot_of_census ~total_hosts:0 [ ("cubic", 0) ]
+  in
+  Alcotest.(check (list (pair string (float 1e-9)))) "all-zero tally yields no shares" []
+    zeros.Internet.Census_history.shares;
+  Alcotest.(check string) "placeholder study label intact" "Nebby (this repo)"
+    zeros.Internet.Census_history.study
+
 let test_browser_flows_classified () =
   let control = Lazy.force control in
   let svc =
@@ -203,6 +234,10 @@ let suite =
     Alcotest.test_case "census shares survive degenerate tallies" `Quick
       test_census_shares_edge_cases;
     Alcotest.test_case "historical snapshots present (Table 11)" `Quick test_census_history;
+    Alcotest.test_case "class_of_label: BBR family, unknowns, novel labels" `Quick
+      test_class_of_label_novel;
+    Alcotest.test_case "snapshot_of_census survives an empty tally" `Quick
+      test_snapshot_of_empty_tally;
     Alcotest.test_case "browser flows classify per asset" `Slow test_browser_flows_classified;
     Alcotest.test_case "shared bottleneck shows contention" `Quick test_shared_bottleneck_contention;
   ]

@@ -19,5 +19,6 @@ let () =
       ("flight", Test_flight.suite);
       ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
+      ("drift", Test_drift.suite);
       ("adversarial", Test_adversarial.suite);
     ]

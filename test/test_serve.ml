@@ -399,6 +399,137 @@ let test_service_backpressure_observable () =
             (s.Serve.Service.measured = 8);
           Obs.Metrics.reset ()))
 
+let test_prometheus_help_type_pairing () =
+  (* every exposed metric family must carry both a # HELP and a # TYPE
+     line — a silent gap here breaks scrapers that key on HELP *)
+  with_store (fun store ->
+      with_status (fun status ->
+          let cfg =
+            {
+              (config ~sites:4 ~epochs:1) with
+              Serve.Service.status_file = Some status;
+              alert_rules = Serve.Alerts.default_rules;
+            }
+          in
+          ignore (run_service ~config:cfg ~store ());
+          let prom = read_file (status ^ ".prom") in
+          let lines = String.split_on_char '\n' prom in
+          let names_after prefix =
+            List.filter_map
+              (fun l ->
+                if String.length l > String.length prefix
+                   && String.sub l 0 (String.length prefix) = prefix
+                then
+                  let rest =
+                    String.sub l (String.length prefix)
+                      (String.length l - String.length prefix)
+                  in
+                  Some (List.hd (String.split_on_char ' ' rest))
+                else None)
+              lines
+            |> List.sort_uniq compare
+          in
+          let helps = names_after "# HELP " and types = names_after "# TYPE " in
+          Alcotest.(check (list string)) "HELP and TYPE cover the same families" types
+            helps;
+          (* every sample belongs to a declared family *)
+          let sample_families =
+            List.filter_map
+              (fun l ->
+                if l = "" || l.[0] = '#' then None
+                else
+                  let base = List.hd (String.split_on_char '{' l) in
+                  Some (List.hd (String.split_on_char ' ' base)))
+              lines
+            |> List.sort_uniq compare
+          in
+          (* summary samples <fam>_count / <fam>_sum belong to <fam> *)
+          let base fam =
+            let strip suffix =
+              if Filename.check_suffix fam suffix then
+                Some (Filename.chop_suffix fam suffix)
+              else None
+            in
+            match (strip "_count", strip "_sum") with
+            | Some b, _ when List.mem b helps -> b
+            | _, Some b when List.mem b helps -> b
+            | _ -> fam
+          in
+          List.iter
+            (fun fam ->
+              Alcotest.(check bool)
+                (Printf.sprintf "family %s has HELP" fam)
+                true
+                (List.mem (base fam) helps);
+              Alcotest.(check bool)
+                (Printf.sprintf "family %s has TYPE" fam)
+                true
+                (List.mem (base fam) types))
+            sample_families;
+          (* the satellite regression: the recovery counters are documented *)
+          List.iter
+            (fun fam ->
+              Alcotest.(check bool) (Printf.sprintf "HELP for %s" fam) true
+                (List.mem fam helps))
+            [
+              "nebby_serve_recovered_total";
+              "nebby_serve_carried_total";
+              "nebby_serve_timeouts_total";
+              "nebby_serve_journal_records";
+              "nebby_alert";
+            ]))
+
+let test_migrating_service_detects_and_alerts () =
+  (* end-to-end: a migrating population with per-epoch re-measurement
+     produces drift ledger points in the store, and the alert engine
+     writes a well-formed JSONL transition log *)
+  with_store (fun store ->
+      let log = Filename.temp_file "serve_alerts" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists log then Sys.remove log)
+        (fun () ->
+          let cfg =
+            {
+              (config ~sites:8 ~epochs:3) with
+              Serve.Service.confidence_floor = 1.1 (* force re-measurement *);
+              migration =
+                Some { Internet.Population.default_migration with onset = 1; rate = 40.0 };
+              alert_rules =
+                [
+                  {
+                    Serve.Alerts.name = "drift-rate";
+                    signal = Serve.Alerts.Drift_rate;
+                    bound = Serve.Alerts.Ceiling;
+                    limit = 0.5;
+                    for_epochs = 1;
+                  };
+                ];
+              alert_log = Some log;
+            }
+          in
+          let s = run_service ~config:cfg ~store () in
+          Alcotest.(check int) "every epoch re-measured" 24 s.Serve.Service.measured;
+          let ledger = Serve.Observatory.ledger_of_store ~store in
+          Alcotest.(check int) "one ledger point per epoch" 3
+            (List.length ledger.Obs.Drift.points);
+          (* alert log is valid JSONL; a fire implies the summary counted it *)
+          let transitions =
+            List.filter_map
+              (fun l ->
+                if l = "" then None
+                else Some (Serve.Alerts.transition_of_json (Obs.Json.of_string l)))
+              (String.split_on_char '\n' (read_file log))
+          in
+          let fires =
+            List.length
+              (List.filter (fun t -> t.Serve.Alerts.action = Serve.Alerts.Fire) transitions)
+          in
+          Alcotest.(check int) "summary counts the fires" fires
+            s.Serve.Service.alerts_fired;
+          if s.Serve.Service.drift_events > 0 then
+            Alcotest.(check bool) "a detected migration fired the drift-rate rule" true
+              (fires > 0)))
+
 let suite =
   [
     Alcotest.test_case "journal roundtrip and reopen" `Quick test_journal_roundtrip;
@@ -430,4 +561,8 @@ let suite =
       test_status_final_snapshot_deterministic;
     Alcotest.test_case "status read/render and schema version gate" `Quick
       test_status_read_render_and_version_gate;
+    Alcotest.test_case "prometheus families all carry HELP and TYPE" `Quick
+      test_prometheus_help_type_pairing;
+    Alcotest.test_case "migrating population detected and alerted end-to-end" `Slow
+      test_migrating_service_detects_and_alerts;
   ]

@@ -256,6 +256,18 @@ if ! awk -v o="$trace_ovh" 'BEGIN { exit !(o <= 0.05) }'; then
   exit 1
 fi
 echo "(pool trace overhead: ${trace_ovh})"
+# The per-epoch alert engine rides the serve hot path, so its paired-run
+# overhead measurement gates on the same 5% CPU-time budget.
+alert_ovh=$(sed -n 's/.*"serve_alert_overhead_frac": \([-0-9.eE+]*\).*/\1/p' bench.json)
+if [ -z "$alert_ovh" ]; then
+  echo "check.sh: bench.json is missing serve_alert_overhead_frac" >&2
+  exit 1
+fi
+if ! awk -v o="$alert_ovh" 'BEGIN { exit !(o <= 0.05) }'; then
+  echo "check.sh: serve alert overhead ${alert_ovh} exceeds the 5% ceiling" >&2
+  exit 1
+fi
+echo "(serve alert overhead: ${alert_ovh})"
 
 echo "== serve kill-and-resume gate (SIGKILL mid-census, resume, byte-identical) =="
 # The headline recovery invariant: a census SIGKILLed at a seeded commit
@@ -344,6 +356,77 @@ fi
   echo "check.sh: stats --live rejected the status snapshot" >&2
   exit 1
 }
+
+echo "== drift determinism gate (migrating census: ledger/dashboard/alert log byte-identical) =="
+# The drift observatory end to end: a migrating population (CUBIC -> BBR
+# from epoch 1) served at jobs=1 and jobs=4 with per-epoch re-measurement
+# (--confidence-floor 1.1; the delta census would otherwise carry stale
+# verdicts across the migration) must leave byte-identical stores and
+# alert logs, and everything `nebby drift` derives from a store — the
+# ledger JSON, the dashboard HTML, the text render — must be a pure
+# function of it: analyzing the same store twice, and the two stores
+# against each other, must all agree byte for byte.
+drift_tmp=$(mktemp -d)
+trap 'rm -f "$tmp1" "$tmp2" "$prov_tmp" "$flight_tmp"; rm -rf "$pool_tmp" "$golden_tmp" "$camp_tmp" "$serve_tmp" "$drift_tmp"' EXIT
+# same store basename in both dirs: the ledger's subject quotes it
+mkdir -p "$drift_tmp/j1" "$drift_tmp/j4"
+mig="serve --sites 8 --training-runs 3 --seed 1234 --epochs 3 \
+  --migrate cubic:bbr:1:40 --confidence-floor 1.1"
+"$cli" $mig --jobs 1 --store "$drift_tmp/j1/m.journal" \
+  --alert-log "$drift_tmp/alerts1.jsonl" >/dev/null || {
+  echo "check.sh: migrating serve --jobs 1 exited non-zero" >&2
+  exit 1
+}
+"$cli" $mig --jobs 4 --store "$drift_tmp/j4/m.journal" \
+  --alert-log "$drift_tmp/alerts4.jsonl" >/dev/null || {
+  echo "check.sh: migrating serve --jobs 4 exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$drift_tmp/j1/m.journal" "$drift_tmp/j4/m.journal"; then
+  echo "check.sh: migrating store diverged between jobs=1 and jobs=4" >&2
+  exit 1
+fi
+if ! cmp -s "$drift_tmp/alerts1.jsonl" "$drift_tmp/alerts4.jsonl"; then
+  diff "$drift_tmp/alerts1.jsonl" "$drift_tmp/alerts4.jsonl" || true
+  echo "check.sh: alert log diverged between jobs=1 and jobs=4" >&2
+  exit 1
+fi
+for pass in a b; do
+  "$cli" drift "$drift_tmp/j1/m.journal" --out "$drift_tmp/$pass.ledger.json" \
+    --html "$drift_tmp/$pass.dash.html" >"$drift_tmp/$pass.render.txt" || {
+    echo "check.sh: nebby drift exited non-zero (pass $pass)" >&2
+    exit 1
+  }
+done
+sed -i "s|$drift_tmp/a|DRIFT|g" "$drift_tmp/a.render.txt"
+sed -i "s|$drift_tmp/b|DRIFT|g" "$drift_tmp/b.render.txt"
+for pair in a.ledger.json:b.ledger.json a.dash.html:b.dash.html a.render.txt:b.render.txt; do
+  x="$drift_tmp/${pair%%:*}" y="$drift_tmp/${pair#*:}"
+  if ! cmp -s "$x" "$y"; then
+    diff "$x" "$y" | head -20 || true
+    echo "check.sh: nebby drift is not deterministic (${pair})" >&2
+    exit 1
+  fi
+done
+"$cli" drift "$drift_tmp/j4/m.journal" --out "$drift_tmp/c.ledger.json" \
+  --html "$drift_tmp/c.dash.html" >/dev/null || {
+  echo "check.sh: nebby drift on the jobs=4 store exited non-zero" >&2
+  exit 1
+}
+if ! cmp -s "$drift_tmp/a.ledger.json" "$drift_tmp/c.ledger.json" \
+  || ! cmp -s "$drift_tmp/a.dash.html" "$drift_tmp/c.dash.html"; then
+  echo "check.sh: drift artifacts diverged between the jobs=1 and jobs=4 stores" >&2
+  exit 1
+fi
+# the ledger must cover every epoch of the run (the synthetic-truth
+# detection accuracy itself is pinned by test/test_drift.ml; the small
+# training control here keeps the gate fast, not accurate)
+epochs_seen=$(grep -o '"epoch":' "$drift_tmp/a.ledger.json" | wc -l)
+if [ "$epochs_seen" -ne 3 ]; then
+  echo "check.sh: migrating ledger records ${epochs_seen} epoch points, expected 3" >&2
+  exit 1
+fi
+echo "(migrating store, alert log and drift artifacts byte-identical at jobs=1 vs jobs=4)"
 
 echo "== fuzz smoke (adversarial search: jobs-independent, fixtures replay) =="
 # The coverage-guided search must be a pure function of its seed at any
